@@ -1,0 +1,50 @@
+"""Figure 3 — Network load on content servers vs time.
+
+Paper: "Corona-Lite settles down quickly to match the network load
+imposed by legacy RSS clients"; Corona-Fast sits above it.  Lines:
+Legacy RSS (flat), Corona-Lite (ramps to the legacy level within ~2
+maintenance phases), Corona-Fast (higher steady load).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.stats import steady_state_mean
+from repro.analysis.tables import format_series
+
+
+def test_fig03_network_load(benchmark, runner, scale):
+    lite = benchmark.pedantic(
+        lambda: runner.run_fresh("lite"), rounds=1, iterations=1
+    )
+    fast = runner.run("fast")
+    legacy = runner.run("legacy")
+
+    artifact = format_series(
+        lite.bucket_times,
+        {
+            "Legacy RSS": legacy.kbps_per_channel,
+            "Corona Lite": lite.kbps_per_channel,
+            "Corona Fast": fast.kbps_per_channel,
+        },
+        unit="kbps/channel",
+    )
+    write_artifact(f"fig03_network_load_{scale.name}.txt", artifact)
+
+    # Shape 1: legacy load is flat at the subscription rate.
+    assert np.allclose(legacy.polls_per_min, legacy.polls_per_min[0])
+
+    # Shape 2: Corona-Lite converges to the legacy load level.
+    target = legacy.polls_per_min[0]
+    lite_steady = steady_state_mean(lite.polls_per_min, 0.34)
+    assert abs(lite_steady - target) / target < 0.12
+
+    # Shape 3: convergence within roughly two maintenance phases —
+    # the second half of hour two is already near target.
+    two_phases = lite.bucket_times <= 2.5 * 3600.0
+    reached = lite.polls_per_min[two_phases][-1]
+    assert reached > target * 0.8
+
+    # Shape 4: Corona-Fast pays more than Lite for its latency target.
+    fast_steady = steady_state_mean(fast.polls_per_min, 0.34)
+    assert fast_steady > lite_steady

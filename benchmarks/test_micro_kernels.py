@@ -1,0 +1,77 @@
+"""Microbenchmarks for the hot protocol kernels.
+
+Not figures from the paper — these guard the constants the system-level
+numbers depend on: routing throughput, wedge-flood planning, the
+difference-engine path a node runs on every poll, and one decentralized
+control round.
+"""
+
+import pytest
+
+from repro.core.config import CoronaConfig
+from repro.diffengine.differ import diff_lines
+from repro.diffengine.extractor import extract_core_lines
+from repro.feeds.generator import FeedGenerator
+from repro.overlay.dag import dissemination_tree
+from repro.overlay.hashing import channel_id
+from repro.overlay.network import OverlayNetwork
+from repro.simulation.macro import MacroSimulator
+from repro.workload.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return OverlayNetwork.build(256, base=16, seed=3)
+
+
+def test_micro_route(benchmark, overlay):
+    cids = [channel_id(f"http://r{i}.example/") for i in range(64)]
+    starts = overlay.node_ids()[:64]
+
+    def route_batch():
+        hops = 0
+        for start, cid in zip(starts, cids):
+            hops += len(overlay.route(start, cid))
+        return hops
+
+    hops = benchmark(route_batch)
+    assert hops >= 64
+
+
+def test_micro_wedge_flood_plan(benchmark, overlay):
+    tables = overlay.routing_tables()
+    cid = channel_id("http://flood.example/")
+    anchor = overlay.anchor_of(cid)
+
+    plan = benchmark(
+        lambda: dissemination_tree(anchor, tables, cid, 0, overlay.base)
+    )
+    assert len(plan) == len(overlay) - 1
+
+
+def test_micro_poll_path(benchmark):
+    """extract + diff on a realistic feed: the per-poll CPU cost."""
+    generator = FeedGenerator(url="http://k.example/rss", seed=1)
+    old_doc = generator.render(0.0)
+    generator.publish_update(10.0)
+    new_doc = generator.render(10.0)
+
+    def poll_path():
+        old_lines = extract_core_lines(old_doc)
+        new_lines = extract_core_lines(new_doc)
+        return diff_lines(old_lines, new_lines, 1, 2)
+
+    delta = benchmark(poll_path)
+    assert not delta.is_empty
+
+
+def test_micro_control_round(benchmark):
+    """One full decentralized optimization round at moderate scale."""
+    trace = generate_trace(n_channels=1000, n_subscriptions=50_000, seed=11)
+    simulator = MacroSimulator(
+        trace, CoronaConfig(scheme="lite"), n_nodes=128, seed=3
+    )
+    benchmark.pedantic(
+        simulator._run_control_round, rounds=3, iterations=1
+    )
+    assert simulator.levels.min() >= 0

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""All five optimization schemes over one workload (Table 2, live).
+
+Runs Corona-Lite, -Fast, -Fair, -Fair-Sqrt and -Fair-Log on the same
+survey-parameterized workload and prints the Table 2 summary plus the
+fairness view of Figures 7–8: how detection time relates to each
+channel's update interval under each scheme.
+
+Run:  python examples/scheme_comparison.py [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.stats import rank_correlation
+from repro.analysis.tables import format_table
+from repro.core.config import CoronaConfig
+from repro.simulation.macro import MacroSimulator, run_legacy
+from repro.workload.trace import generate_trace
+
+SCHEMES = ("lite", "fast", "fair", "fair-sqrt", "fair-log")
+
+
+def main() -> None:
+    paper_scale = "--paper-scale" in sys.argv
+    n_channels = 20_000 if paper_scale else 2_000
+    n_subs = 1_000_000 if paper_scale else 100_000
+    n_nodes = 1024 if paper_scale else 128
+
+    trace = generate_trace(
+        n_channels=n_channels, n_subscriptions=n_subs, seed=5
+    )
+    print(
+        f"workload: {n_channels:,} channels, {n_subs:,} subscriptions, "
+        f"{n_nodes} nodes (Zipf 0.5 popularity, survey update intervals)\n"
+    )
+
+    legacy = run_legacy(trace, CoronaConfig(), seed=7)
+    rows = [["Legacy-RSS", 900.0, float(trace.subscribers.mean()), "-"]]
+    for scheme in SCHEMES:
+        config = CoronaConfig(scheme=scheme)
+        result = MacroSimulator(
+            trace, config, n_nodes=n_nodes, seed=7
+        ).run()
+        latency = 900.0 / np.maximum(1, result.final_pollers)
+        fairness = rank_correlation(trace.update_intervals, latency)
+        steady_polls = (
+            result.polls_per_min[-2:].mean() * 30.0 / n_channels
+        )
+        rows.append(
+            [
+                f"Corona-{scheme.title()}",
+                result.analytic_weighted_delay,
+                steady_polls,
+                f"{fairness:+.2f}",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "Scheme",
+                "Avg detection (s)",
+                "Polls/30min/channel",
+                "latency~interval corr",
+            ],
+            rows,
+            title="Table 2 — performance summary (reproduced)",
+        )
+    )
+    print(
+        "\nReading: Lite minimizes latency at the legacy load budget; "
+        "Fast buys its fixed target with extra polls; Fair aligns "
+        "latency with update rate (positive correlation) at the cost "
+        "of slow channels; Sqrt/Log keep most of Fair's alignment "
+        "while restoring Lite-like averages — Table 2 and Figures 7-8."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Corona-Fast as a stock tracker (the paper's §3.1 motivating app).
+
+"A stock-tracker application may pick a target of 30 seconds to
+quickly detect changes to stock prices."  This example pits
+Corona-Fast (30 s target) against Corona-Lite and the legacy baseline
+on a quote-feed workload, showing that Fast holds its latency target
+as the workload grows — and what that stability costs in server load.
+
+Run:  python examples/stock_tracker.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.config import CoronaConfig
+from repro.simulation.macro import MacroSimulator, run_legacy
+from repro.workload.trace import generate_trace
+
+TARGET_SECONDS = 30.0
+
+
+def quote_feed_trace(n_channels: int, n_subscriptions: int, seed: int):
+    """Quote feeds update fast: intervals minutes, not days."""
+    trace = generate_trace(
+        n_channels=n_channels, n_subscriptions=n_subscriptions, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    trace.update_intervals[:] = rng.uniform(60.0, 900.0, n_channels)
+    return trace
+
+
+def run(scheme: str, trace, n_nodes: int):
+    config = CoronaConfig(scheme=scheme, latency_target=TARGET_SECONDS)
+    simulator = MacroSimulator(
+        trace, config, n_nodes=n_nodes, seed=3,
+        horizon=4 * 3600.0, bucket_width=1800.0,
+    )
+    return simulator.run()
+
+
+def main() -> None:
+    n_nodes = 128
+    rows = []
+    print("=== Corona-Fast stock tracker: target "
+          f"{TARGET_SECONDS:.0f} s across growing workloads ===\n")
+    for n_subs in (20_000, 60_000, 180_000):
+        trace = quote_feed_trace(800, n_subs, seed=n_subs)
+        fast = run("fast", trace, n_nodes)
+        lite = run("lite", trace, n_nodes)
+        legacy = run_legacy(trace, CoronaConfig(), horizon=4 * 3600.0,
+                            bucket_width=1800.0, seed=1)
+        rows.append(
+            [
+                f"{n_subs:,}",
+                fast.analytic_weighted_delay,
+                lite.analytic_weighted_delay,
+                legacy.analytic_weighted_delay,
+                fast.polls_per_min[-1],
+                lite.polls_per_min[-1],
+            ]
+        )
+    print(
+        format_table(
+            [
+                "subscriptions",
+                "Fast delay (s)",
+                "Lite delay (s)",
+                "Legacy delay (s)",
+                "Fast polls/min",
+                "Lite polls/min",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: Corona-Fast pins its detection time near the "
+        f"{TARGET_SECONDS:.0f} s target regardless of workload — the "
+        "'knob' of §6 — while Corona-Lite's latency floats with the "
+        "load budget, and legacy readers wait τ/2 = 900 s.  Fast's "
+        "poll rate is the price of the pinned target."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+"""Command-line interface for running Corona experiments.
+
+Usage::
+
+    python -m repro table2   [--channels N] [--subscriptions N] [--nodes N]
+    python -m repro simulate --scheme lite [--channels N] [--hours H] ...
+    python -m repro deploy   [--nodes N] [--channels N] [--hours H]
+
+``table2`` reproduces the paper's summary table across all schemes;
+``simulate`` runs one scheme through the macro simulator and prints
+the Figure 3/4 series; ``deploy`` runs the full-protocol deployment
+experiment (Figures 9–10).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.stats import rank_correlation, steady_state_mean
+from repro.analysis.tables import format_series, format_table
+from repro.core.config import SCHEME_NAMES, CoronaConfig
+from repro.simulation.deployment import DeploymentSimulator
+from repro.simulation.macro import MacroSimulator, run_legacy
+from repro.workload.trace import generate_trace
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--channels", type=int, default=2000)
+    parser.add_argument("--subscriptions", type=int, default=100_000)
+    parser.add_argument("--nodes", type=int, default=128)
+    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--tau", type=float, default=1800.0,
+                        help="polling interval in seconds")
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        n_channels=args.channels,
+        n_subscriptions=args.subscriptions,
+        seed=args.seed,
+    )
+    rows = [["Legacy-RSS", 900.0 * args.tau / 1800.0, float(trace.subscribers.mean()), "-"]]
+    for scheme in SCHEME_NAMES:
+        config = CoronaConfig(scheme=scheme, polling_interval=args.tau)
+        result = MacroSimulator(
+            trace, config, n_nodes=args.nodes, seed=args.seed,
+            horizon=args.hours * 3600.0,
+        ).run()
+        latency = args.tau / 2.0 / np.maximum(1, result.final_pollers)
+        rows.append(
+            [
+                f"Corona-{scheme.title()}",
+                result.analytic_weighted_delay,
+                steady_state_mean(result.polls_per_min, 0.34)
+                * (args.tau / 60.0)
+                / args.channels,
+                f"{rank_correlation(trace.update_intervals, latency):+.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Scheme", "Avg detection (s)", f"Polls/{args.tau / 60:.0f}min/channel",
+             "latency~interval corr"],
+            rows,
+            title="Table 2 — performance summary",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        n_channels=args.channels,
+        n_subscriptions=args.subscriptions,
+        seed=args.seed,
+    )
+    config = CoronaConfig(
+        scheme=args.scheme,
+        polling_interval=args.tau,
+        latency_target=args.target,
+    )
+    result = MacroSimulator(
+        trace, config, n_nodes=args.nodes, seed=args.seed,
+        horizon=args.hours * 3600.0,
+    ).run()
+    legacy = run_legacy(
+        trace, config, horizon=args.hours * 3600.0, seed=args.seed
+    )
+    print(
+        format_series(
+            result.bucket_times,
+            {
+                "legacy load": legacy.polls_per_min,
+                "corona load": result.polls_per_min,
+                "legacy delay": legacy.analytic_series,
+                "corona delay": result.analytic_series,
+            },
+        )
+    )
+    print(
+        f"\nscheme={args.scheme}  weighted delay: "
+        f"{result.analytic_weighted_delay:.1f}s  "
+        f"polls/ch/tau: {result.polls_per_channel_per_tau:.2f}  "
+        f"orphans: {result.orphan_count}"
+    )
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        n_channels=args.channels,
+        n_subscriptions=args.subscriptions,
+        seed=args.seed,
+        subscription_window=3600.0,
+    )
+    config = CoronaConfig(
+        polling_interval=args.tau,
+        maintenance_interval=args.tau,
+        base=args.base,
+    )
+    simulator = DeploymentSimulator(
+        trace, config, n_nodes=args.nodes, seed=args.seed,
+        horizon=args.hours * 3600.0,
+    )
+    result = simulator.run()
+    print(
+        format_series(
+            result.bucket_times,
+            {"corona polls/min": result.corona_polls_per_min},
+        )
+    )
+    steady = steady_state_mean(result.detection_times, 0.5)
+    print(
+        f"\ndetections: {result.detections}   steady detection: "
+        f"{steady:.1f}s (legacy {result.legacy_detection_time:.0f}s)   "
+        f"corona load: {steady_state_mean(result.corona_polls_per_min, 0.4):.0f}"
+        f"/min (legacy {result.legacy_polls_per_min:.0f}/min)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Corona (NSDI 2006) reproduction experiments",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table2 = commands.add_parser("table2", help="all schemes, Table 2 style")
+    _add_workload_args(table2)
+    table2.set_defaults(func=cmd_table2)
+
+    simulate = commands.add_parser("simulate", help="one scheme, Fig 3/4 series")
+    _add_workload_args(simulate)
+    simulate.add_argument("--scheme", choices=SCHEME_NAMES, default="lite")
+    simulate.add_argument("--target", type=float, default=30.0,
+                          help="Corona-Fast latency target (s)")
+    simulate.set_defaults(func=cmd_simulate)
+
+    deploy = commands.add_parser("deploy", help="full-protocol deployment")
+    _add_workload_args(deploy)
+    deploy.set_defaults(
+        func=cmd_deploy, channels=150, subscriptions=1500, nodes=24,
+        hours=2.0,
+    )
+    deploy.add_argument("--base", type=int, default=4)
+    deploy.set_defaults(func=cmd_deploy)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Channels and the per-channel statistics owners maintain.
+
+A channel is any web object identifiable by a URL (paper §3).  Its
+owner nodes track the three factors the optimization consumes
+(§3.3): the number of subscribers ``q_i``, the content size ``s_i``,
+and the update interval ``u_i`` — the last *estimated* from the time
+between updates Corona itself detects, since publishers are exogenous
+and announce nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.honeycomb.clusters import ChannelFactors
+from repro.overlay.hashing import channel_id
+from repro.overlay.nodeid import NodeId
+
+
+@dataclass
+class ChannelStats:
+    """Owner-side estimators for one channel's tradeoff factors.
+
+    ``update_interval`` uses an exponentially weighted mean of
+    observed inter-update gaps; until two updates have been seen it
+    falls back to ``default_update_interval`` (the survey's one-week
+    cap for feeds never observed to change, §5.1).
+    """
+
+    subscribers: int = 0
+    content_size: int = 1024
+    default_update_interval: float = 7 * 24 * 3600.0
+    min_interval: float = 60.0
+    max_interval: float = 7 * 24 * 3600.0
+    ewma_alpha: float = 0.3
+    _last_update_time: float | None = None
+    _interval_estimate: float | None = None
+    updates_seen: int = 0
+
+    def record_update(self, timestamp: float, content_size: int) -> None:
+        """Fold one detected update into the estimators."""
+        if content_size > 0:
+            self.content_size = content_size
+        if self._last_update_time is not None:
+            gap = timestamp - self._last_update_time
+            if gap > 0:
+                if self._interval_estimate is None:
+                    self._interval_estimate = gap
+                else:
+                    self._interval_estimate = (
+                        self.ewma_alpha * gap
+                        + (1 - self.ewma_alpha) * self._interval_estimate
+                    )
+        self._last_update_time = timestamp
+        self.updates_seen += 1
+
+    @property
+    def update_interval(self) -> float:
+        """Current estimate of u_i, clamped to the configured range.
+
+        The clamps guard the Fair weights against degenerate inputs: a
+        burst of back-to-back detections would otherwise drive the
+        ratio τ/uᵢ arbitrarily high.
+        """
+        if self._interval_estimate is None:
+            return self.default_update_interval
+        return min(self.max_interval, max(self.min_interval, self._interval_estimate))
+
+    def factors(self, level: int) -> ChannelFactors:
+        """Snapshot as the optimization's input record."""
+        return ChannelFactors(
+            subscribers=float(self.subscribers),
+            size=float(self.content_size),
+            update_interval=self.update_interval,
+            level=level,
+        )
+
+
+@dataclass
+class Channel:
+    """One topic: a URL, its ring identifier, stats and polling level.
+
+    ``level`` is the channel's current polling level; ``max_level`` the
+    deepest meaningful level (owner-only).  ``anchor_prefix`` records
+    how many digits the wedge anchor shares with the channel id —
+    levels in ``(anchor_prefix, max_level)`` correspond to empty wedges
+    and are skipped (the orphan situation of §4 is ``anchor_prefix <
+    max_level - 1``: lowering from the owner level recruits nobody).
+    """
+
+    url: str
+    cid: NodeId = field(init=False)
+    stats: ChannelStats = field(default_factory=ChannelStats)
+    level: int = 0
+    max_level: int = 0
+    anchor_prefix: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.url:
+            raise ValueError("channel URL must be non-empty")
+        self.cid = channel_id(self.url)
+
+    # ------------------------------------------------------------------
+    def is_orphan(self) -> bool:
+        """True when the first lowering step recruits nobody (§4).
+
+        The maintenance protocol lowers levels one step at a time; the
+        step from the owner level ``K`` targets the wedge at ``K−1``,
+        which is empty whenever no node shares ``K−1`` prefix digits
+        with the channel.  Such channels stay at the owner level and
+        their tradeoff mass is folded into the slack cluster.
+        """
+        return self.anchor_prefix < self.max_level - 1
+
+    def allowed_levels(self) -> tuple[int, ...]:
+        """Selectable polling levels for the optimization.
+
+        Non-orphans can occupy every level from 0 (the whole ring) to
+        ``max_level`` (owner only); orphans are frozen at the owner
+        level.
+        """
+        if self.is_orphan():
+            return (self.max_level,)
+        return tuple(range(self.max_level + 1))
+
+    def clamp_level(self) -> None:
+        """Snap ``level`` onto the nearest allowed level (from above)."""
+        allowed = self.allowed_levels()
+        if self.level in allowed:
+            return
+        deeper = [lvl for lvl in allowed if lvl >= self.level]
+        self.level = min(deeper) if deeper else max(allowed)

@@ -1,0 +1,87 @@
+"""Cooperative polling schedules.
+
+Every node polls each of its assigned channels once per polling
+interval τ.  When a node *starts* polling a channel it waits a random
+fraction of τ first (§3.3), so the polls of a wedge's members spread
+uniformly over the interval — this stagger is what makes ``n``
+cooperating pollers detect updates ``n`` times faster than one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.update import ContentState
+
+
+@dataclass
+class PollTask:
+    """One node's polling duty for one channel."""
+
+    url: str
+    level: int
+    next_poll: float
+    interval: float
+    content: ContentState = field(default_factory=ContentState)
+
+    def advance(self) -> None:
+        """Schedule the next poll one interval later."""
+        self.next_poll += self.interval
+
+
+@dataclass
+class PollScheduler:
+    """The set of channels a node currently polls, ordered by due time.
+
+    A simple dict keyed by URL plus linear min-scan; nodes poll at most
+    a few thousand channels, and the discrete-event simulator keeps its
+    own global heap, so this structure only needs to be correct and
+    easily inspectable.
+    """
+
+    interval: float
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    tasks: dict[str, PollTask] = field(default_factory=dict)
+
+    def start(self, url: str, level: int, now: float) -> PollTask:
+        """Begin polling ``url``; first poll after a random stagger.
+
+        Restarting an already-polled channel only updates its level —
+        the established stagger is kept so the wedge stays spread out.
+        """
+        task = self.tasks.get(url)
+        if task is not None:
+            task.level = level
+            return task
+        task = PollTask(
+            url=url,
+            level=level,
+            next_poll=now + self.rng.uniform(0.0, self.interval),
+            interval=self.interval,
+        )
+        self.tasks[url] = task
+        return task
+
+    def stop(self, url: str) -> bool:
+        """Stop polling ``url``; True if we were polling it."""
+        return self.tasks.pop(url, None) is not None
+
+    # ------------------------------------------------------------------
+    def due(self, now: float) -> list[PollTask]:
+        """Tasks whose next poll time has arrived."""
+        return [task for task in self.tasks.values() if task.next_poll <= now]
+
+    def next_due_time(self) -> float | None:
+        """Earliest next poll across all tasks (None when idle)."""
+        if not self.tasks:
+            return None
+        return min(task.next_poll for task in self.tasks.values())
+
+    def polls_per_interval(self) -> int:
+        """How many polls this node issues per τ (= channels polled)."""
+        return len(self.tasks)
+
+    def is_polling(self, url: str) -> bool:
+        """True when ``url`` is in this node's polling set."""
+        return url in self.tasks

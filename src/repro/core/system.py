@@ -1,0 +1,360 @@
+"""The Corona cloud, assembled end to end.
+
+:class:`CoronaSystem` glues the overlay, the protocol nodes, the
+decentralized aggregator and a content fetcher into one synchronously
+driven system — the facade used by the examples, the integration tests
+and the deployment simulator's inner loop.
+
+Time is explicit: callers invoke :meth:`poll_due` and
+:meth:`run_maintenance_round` with monotonically increasing ``now``
+values (the discrete-event simulator does this with fine granularity;
+the examples use coarse steps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.channel import Channel
+from repro.core.config import CoronaConfig
+from repro.core.maintenance import DiffMsg, MaintenanceMsg
+from repro.core.node import CoronaNode, DetectionEvent, FetchResult
+from repro.core.dissemination import wedge_recipients
+from repro.diffengine.differ import Diff
+from repro.honeycomb.aggregation import DecentralizedAggregator
+from repro.overlay.hashing import channel_id
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.nodeid import NodeId
+
+
+class Fetcher:
+    """Interface the content substrate implements.
+
+    ``fetch`` performs one HTTP poll; ``published_at`` exposes the
+    ground-truth publication time of the current version for metrics
+    (simulation only — the protocol never reads it).
+    """
+
+    def fetch(self, url: str, now: float) -> FetchResult:  # pragma: no cover
+        raise NotImplementedError
+
+    def published_at(self, url: str) -> float | None:  # pragma: no cover
+        return None
+
+
+@dataclass
+class SystemCounters:
+    """Aggregate counters across the cloud, for tests and benches."""
+
+    polls: int = 0
+    diff_messages: int = 0
+    maintenance_messages: int = 0
+    detections: int = 0
+    redundant_diffs: int = 0
+
+
+class CoronaSystem:
+    """A complete Corona deployment driven in synchronous steps."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        config: CoronaConfig,
+        fetcher: Fetcher,
+        seed: int = 0,
+        notifier: Callable[[str, Iterable[str], Diff, float], None] | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.config = config
+        self.fetcher = fetcher
+        self.overlay = OverlayNetwork.build(
+            n_nodes, base=config.base, leaf_size=config.replicas + 1, seed=seed
+        )
+        self.nodes: dict[NodeId, CoronaNode] = {
+            node_id: CoronaNode(
+                node_id, config, rng_seed=seed, notifier=notifier
+            )
+            for node_id in self.overlay.node_ids()
+        }
+        self.aggregator = DecentralizedAggregator(
+            tables=self.overlay.routing_tables(),
+            rows=self.overlay.aggregation_rows(),
+            bins=config.tradeoff_bins,
+        )
+        self.managers: dict[str, NodeId] = {}
+        self.counters = SystemCounters()
+        self.detections: list[DetectionEvent] = []
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, url: str, client: str, now: float = 0.0) -> NodeId:
+        """Route a subscription to the channel's manager; returns it."""
+        manager_id = self._manager_for(url, now)
+        self.nodes[manager_id].subscribe(url, client, now)
+        return manager_id
+
+    def unsubscribe(self, url: str, client: str) -> bool:
+        """Remove one subscription (no-op on unknown channels)."""
+        manager_id = self.managers.get(url)
+        if manager_id is None:
+            return False
+        return self.nodes[manager_id].unsubscribe(url, client)
+
+    def _manager_for(self, url: str, now: float) -> NodeId:
+        manager_id = self.managers.get(url)
+        if manager_id is not None:
+            return manager_id
+        cid = channel_id(url)
+        anchor = self.overlay.anchor_of(cid)
+        prefix = anchor.shared_prefix_len(cid, self.config.base)
+        self.nodes[anchor].adopt_channel(
+            url,
+            max_level=self.overlay.base_level(),
+            anchor_prefix=prefix,
+            now=now,
+        )
+        self.managers[url] = anchor
+        return anchor
+
+    # ------------------------------------------------------------------
+    # churn (§3.3)
+    # ------------------------------------------------------------------
+    def add_node(self, address: str, now: float = 0.0) -> NodeId:
+        """Join a new node; channels it now anchors move to it.
+
+        The join protocol gives the newcomer routing state; channels
+        whose identifier it matches best become its responsibility,
+        with subscription state transferred from the previous manager
+        ("a node that becomes a new owner receives the state from
+        other owners of the channel", §3.3).  Returns the new node id.
+        """
+        pastry_node = self.overlay.add_node(address)
+        node = CoronaNode(
+            pastry_node.node_id, self.config, rng_seed=len(self.nodes)
+        )
+        self.nodes[pastry_node.node_id] = node
+        self.aggregator = DecentralizedAggregator(
+            tables=self.overlay.routing_tables(),
+            rows=self.overlay.aggregation_rows(),
+            bins=self.config.tradeoff_bins,
+        )
+        for url in list(self.managers):
+            cid = channel_id(url)
+            anchor = self.overlay.anchor_of(cid)
+            if anchor != pastry_node.node_id:
+                continue
+            previous_id = self.managers[url]
+            previous = self.nodes[previous_id]
+            state = previous.registry.export_state([url])
+            channel = previous.managed.pop(url)
+            previous.clocks.pop(url, None)
+            previous.registry.erase(url)
+            prefix = anchor.shared_prefix_len(cid, self.config.base)
+            adopted = node.adopt_channel(
+                url,
+                max_level=self.overlay.base_level(),
+                anchor_prefix=prefix,
+                now=now,
+            )
+            adopted.level = channel.level
+            adopted.clamp_level()
+            adopted.stats = channel.stats
+            node.registry.import_state(state)
+            adopted.stats.subscribers = node.registry.count(url)
+            self.managers[url] = pastry_node.node_id
+        return pastry_node.node_id
+
+    def fail_node(self, node_id: NodeId, now: float = 0.0) -> int:
+        """Fail one node; re-home its channels with their subscriptions.
+
+        Models the paper's ownership transfer: "a node that becomes a
+        new owner receives the state from other owners of the channel".
+        The synchronous container sources the state from the failing
+        node's registry, which stands in for the surviving replicas
+        (state is identical by construction).  Returns the number of
+        channels re-homed.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        dying = self.nodes[node_id]
+        state = dying.registry.export_state()
+        orphaned_urls = list(dying.managed)
+        self.overlay.remove_node(node_id)
+        del self.nodes[node_id]
+        # Aggregation state is rebuilt over the surviving population
+        # (the overlay's self-healing already repaired routing tables).
+        self.aggregator = DecentralizedAggregator(
+            tables=self.overlay.routing_tables(),
+            rows=self.overlay.aggregation_rows(),
+            bins=self.config.tradeoff_bins,
+        )
+        rehomed = 0
+        for url in orphaned_urls:
+            cid = channel_id(url)
+            anchor = self.overlay.anchor_of(cid)
+            prefix = anchor.shared_prefix_len(cid, self.config.base)
+            node = self.nodes[anchor]
+            channel = node.adopt_channel(
+                url,
+                max_level=self.overlay.base_level(),
+                anchor_prefix=prefix,
+                now=now,
+            )
+            node.registry.import_state({url: state.get(url, set())})
+            channel.stats.subscribers = node.registry.count(url)
+            self.managers[url] = anchor
+            rehomed += 1
+        return rehomed
+
+    # ------------------------------------------------------------------
+    # protocol rounds
+    # ------------------------------------------------------------------
+    def run_maintenance_round(self, now: float) -> int:
+        """One full optimization + maintenance + aggregation round.
+
+        Returns the number of maintenance messages sent.  Aggregation
+        runs first on the *previous* round's summaries (one-interval
+        staleness, §3.3's piggy-backing), then every manager optimizes
+        and steps levels, and the resulting announcements are flooded
+        through the wedges.
+        """
+        self.aggregator.load_local(
+            lambda node_id: self.nodes[node_id].local_factors()
+        )
+        # Two aggregation hops per phase: summaries ride the
+        # maintenance messages and again on their responses (§3.3).
+        self.aggregator.run_round()
+        self.aggregator.run_round()
+        sent = 0
+        n_nodes = len(self.overlay)
+        for node_id, node in self.nodes.items():
+            if not node.managed:
+                continue
+            remote = self.aggregator.states[node_id].best_remote()
+            node.run_optimization(remote, n_nodes)
+            for msg in node.run_maintenance(now):
+                sent += self._flood_maintenance(node_id, msg, now)
+        self.counters.maintenance_messages += sent
+        return sent
+
+    def _flood_maintenance(
+        self, manager_id: NodeId, msg: MaintenanceMsg, now: float
+    ) -> int:
+        cid = channel_id(msg.url)
+        plan = wedge_recipients(
+            manager_id,
+            self.overlay.routing_tables(),
+            cid,
+            msg.level,
+            self.config.base,
+        )
+        for _sender, recipient, _depth in plan:
+            self.nodes[recipient].handle_maintenance(msg, cid, now)
+        # Nodes polling at a *deeper* (now abandoned) level must also
+        # hear about raises; the wedge at the lower level is a superset
+        # of the old one, so the plan above already covers lowers, and
+        # raises reach the shrinking wedge because it is a subset.
+        return len(plan)
+
+    def poll_due(self, now: float) -> list[DetectionEvent]:
+        """Execute every poll that has come due across the cloud.
+
+        Diffs produced by detections are flooded to the wedge and the
+        manager synchronously (the deployment simulator adds latency).
+        Returns the fresh-detection events for metrics.
+        """
+        fresh: list[DetectionEvent] = []
+        for node_id, node in self.nodes.items():
+            for task in node.scheduler.due(now):
+                fetched = self.fetcher.fetch(task.url, now)
+                self.counters.polls += 1
+                diff_msg = node.execute_poll(task, fetched, now)
+                if diff_msg is None:
+                    continue
+                event = self._disseminate(node_id, diff_msg, now)
+                if event is not None:
+                    published = self.fetcher.published_at(diff_msg.url)
+                    event = dataclasses.replace(
+                        event, published_at=published
+                    )
+                    fresh.append(event)
+        self.detections.extend(fresh)
+        self.counters.detections += len(fresh)
+        return fresh
+
+    def _disseminate(
+        self, detector_id: NodeId, msg: DiffMsg, now: float
+    ) -> DetectionEvent | None:
+        """Flood a diff through the wedge; deliver to the manager."""
+        cid = channel_id(msg.url)
+        manager_id = self.managers.get(msg.url)
+        level = self.nodes[detector_id].polling_level(msg.url)
+        recipients: set[NodeId] = set()
+        if level is not None:
+            plan = wedge_recipients(
+                detector_id,
+                self.overlay.routing_tables(),
+                cid,
+                level,
+                self.config.base,
+            )
+            recipients.update(recipient for _s, recipient, _d in plan)
+        if manager_id is not None:
+            recipients.add(manager_id)
+        recipients.discard(detector_id)
+        event: DetectionEvent | None = None
+        for recipient in recipients:
+            self.counters.diff_messages += 1
+            result = self.nodes[recipient].handle_diff(msg, now)
+            if recipient == manager_id:
+                event = result
+        if manager_id == detector_id:
+            event = self.nodes[manager_id].handle_diff(msg, now)
+        if manager_id is not None:
+            self.counters.redundant_diffs = self.nodes[
+                manager_id
+            ].redundant_diffs
+        return event
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def channel(self, url: str) -> Channel | None:
+        """The managed channel record for ``url``, if any."""
+        manager_id = self.managers.get(url)
+        if manager_id is None:
+            return None
+        return self.nodes[manager_id].managed.get(url)
+
+    def channel_level(self, url: str) -> int | None:
+        """Current polling level of ``url``."""
+        channel = self.channel(url)
+        return channel.level if channel is not None else None
+
+    def pollers_of(self, url: str) -> list[NodeId]:
+        """Nodes currently polling ``url``."""
+        return [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.scheduler.is_polling(url)
+        ]
+
+    def total_poll_tasks(self) -> int:
+        """Polls issued per polling interval across the cloud."""
+        return sum(
+            node.scheduler.polls_per_interval() for node in self.nodes.values()
+        )
+
+    def next_poll_time(self) -> float | None:
+        """Earliest pending poll across the cloud."""
+        times = [
+            node.scheduler.next_due_time()
+            for node in self.nodes.values()
+            if node.scheduler.tasks
+        ]
+        times = [t for t in times if t is not None]
+        return min(times) if times else None

@@ -1,0 +1,127 @@
+"""Atom 1.0 rendering and parsing (the RSS sibling format, §2)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.diffengine.tokenizer import TokenKind, tokenize
+from repro.feeds.rss import _escape, _unescape
+
+
+def rfc3339_date(epoch_seconds: float) -> str:
+    """RFC 3339 timestamp, the format Atom mandates."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(epoch_seconds))
+
+
+@dataclass
+class AtomEntry:
+    """One Atom entry."""
+
+    title: str
+    entry_id: str = ""
+    link: str = ""
+    summary: str = ""
+    updated: str = ""
+
+    def render(self) -> str:
+        parts = ["<entry>", f"<title>{_escape(self.title)}</title>"]
+        if self.entry_id:
+            parts.append(f"<id>{_escape(self.entry_id)}</id>")
+        if self.link:
+            parts.append(f'<link href="{_escape(self.link)}"/>')
+        if self.summary:
+            parts.append(f"<summary>{_escape(self.summary)}</summary>")
+        if self.updated:
+            parts.append(f"<updated>{self.updated}</updated>")
+        parts.append("</entry>")
+        return "\n".join(parts)
+
+
+@dataclass
+class AtomFeed:
+    """An Atom 1.0 feed document."""
+
+    title: str
+    feed_id: str = ""
+    link: str = ""
+    updated: str = ""
+    entries: list[AtomEntry] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Serialize to Atom XML."""
+        parts = [
+            '<?xml version="1.0" encoding="utf-8"?>',
+            '<feed xmlns="http://www.w3.org/2005/Atom">',
+            f"<title>{_escape(self.title)}</title>",
+        ]
+        if self.feed_id:
+            parts.append(f"<id>{_escape(self.feed_id)}</id>")
+        if self.link:
+            parts.append(f'<link href="{_escape(self.link)}"/>')
+        if self.updated:
+            parts.append(f"<updated>{self.updated}</updated>")
+        for entry in self.entries:
+            parts.append(entry.render())
+        parts.append("</feed>")
+        return "\n".join(parts)
+
+
+def parse_atom(document: str) -> AtomFeed:
+    """Parse an Atom feed tolerantly (unknown elements skipped)."""
+    feed: AtomFeed | None = None
+    entry: AtomEntry | None = None
+    stack: list[str] = []
+    texts: dict[str, list[str]] = {}
+
+    def text_of(name: str) -> str:
+        return _unescape(" ".join(texts.pop(name, [])).strip())
+
+    for token in tokenize(document):
+        if token.kind is TokenKind.OPEN:
+            stack.append(token.name)
+            if token.name == "feed":
+                feed = AtomFeed(title="")
+            elif token.name == "entry" and feed is not None:
+                entry = AtomEntry(title="")
+        elif token.kind is TokenKind.SELFCLOSE:
+            if token.name == "link":
+                href = token.attr("href")
+                if entry is not None:
+                    entry.link = href
+                elif feed is not None:
+                    feed.link = href
+        elif token.kind is TokenKind.TEXT:
+            if stack:
+                texts.setdefault(stack[-1], []).append(token.text)
+        elif token.kind is TokenKind.CLOSE:
+            name = token.name
+            while stack and stack[-1] != name:
+                stack.pop()
+            if stack:
+                stack.pop()
+            if feed is None:
+                texts.pop(name, None)
+                continue
+            if entry is not None:
+                if name == "title":
+                    entry.title = text_of("title")
+                elif name == "id":
+                    entry.entry_id = text_of("id")
+                elif name == "summary":
+                    entry.summary = text_of("summary")
+                elif name == "updated":
+                    entry.updated = text_of("updated")
+                elif name == "entry":
+                    feed.entries.append(entry)
+                    entry = None
+                continue
+            if name == "title":
+                feed.title = text_of("title")
+            elif name == "id":
+                feed.feed_id = text_of("id")
+            elif name == "updated":
+                feed.updated = text_of("updated")
+    if feed is None:
+        raise ValueError("document contains no <feed> element")
+    return feed

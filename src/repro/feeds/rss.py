@@ -1,0 +1,191 @@
+"""RSS 2.0 rendering and parsing.
+
+Implements the slice of the RSS 2.0 specification Corona interacts
+with: channel metadata, items, and the update-hinting tags the paper
+discusses (§2) — ``ttl``, ``skipHours``, ``skipDays`` and ``cloud``,
+the standard's own (rarely used) gesture toward publish-subscribe.
+
+Parsing is built on the tolerant tokenizer rather than a strict XML
+parser: real feeds are frequently malformed and Corona must still
+extract their items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from email.utils import formatdate
+
+from repro.diffengine.tokenizer import TokenKind, tokenize
+
+
+@dataclass
+class RssItem:
+    """One micronews story."""
+
+    title: str
+    link: str = ""
+    description: str = ""
+    guid: str = ""
+    pub_date: str = ""
+
+    def render(self) -> str:
+        parts = ["<item>", f"<title>{_escape(self.title)}</title>"]
+        if self.link:
+            parts.append(f"<link>{_escape(self.link)}</link>")
+        if self.description:
+            parts.append(
+                f"<description>{_escape(self.description)}</description>"
+            )
+        if self.guid:
+            parts.append(f'<guid isPermaLink="false">{_escape(self.guid)}</guid>')
+        if self.pub_date:
+            parts.append(f"<pubDate>{self.pub_date}</pubDate>")
+        parts.append("</item>")
+        return "\n".join(parts)
+
+
+@dataclass
+class RssChannel:
+    """An RSS 2.0 channel document."""
+
+    title: str
+    link: str = ""
+    description: str = ""
+    ttl_minutes: int | None = None
+    skip_hours: tuple[int, ...] = ()
+    skip_days: tuple[str, ...] = ()
+    cloud_domain: str = ""  # the pub-sub "cloud" tag, §2
+    last_build_date: str = ""
+    items: list[RssItem] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Serialize to RSS 2.0 XML."""
+        parts = [
+            '<?xml version="1.0" encoding="utf-8"?>',
+            '<rss version="2.0">',
+            "<channel>",
+            f"<title>{_escape(self.title)}</title>",
+        ]
+        if self.link:
+            parts.append(f"<link>{_escape(self.link)}</link>")
+        if self.description:
+            parts.append(
+                f"<description>{_escape(self.description)}</description>"
+            )
+        if self.last_build_date:
+            parts.append(
+                f"<lastBuildDate>{self.last_build_date}</lastBuildDate>"
+            )
+        if self.ttl_minutes is not None:
+            parts.append(f"<ttl>{self.ttl_minutes}</ttl>")
+        if self.skip_hours:
+            hours = "".join(f"<hour>{hour}</hour>" for hour in self.skip_hours)
+            parts.append(f"<skipHours>{hours}</skipHours>")
+        if self.skip_days:
+            days = "".join(f"<day>{day}</day>" for day in self.skip_days)
+            parts.append(f"<skipDays>{days}</skipDays>")
+        if self.cloud_domain:
+            parts.append(
+                f'<cloud domain="{_escape(self.cloud_domain)}" port="80" '
+                'path="/notify" registerProcedure="" protocol="http-post"/>'
+            )
+        for item in self.items:
+            parts.append(item.render())
+        parts.extend(["</channel>", "</rss>"])
+        return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    )
+
+
+def rfc822_date(epoch_seconds: float) -> str:
+    """RFC 822 date string, the format RSS uses throughout."""
+    return formatdate(epoch_seconds, usegmt=True)
+
+
+def render_rss(channel: RssChannel) -> str:
+    """Serialize a channel (convenience alias)."""
+    return channel.render()
+
+
+def parse_rss(document: str) -> RssChannel:
+    """Parse an RSS 2.0 document tolerantly.
+
+    Unknown elements are skipped; missing fields default to empty.
+    Raises ValueError only when no ``<channel>`` element exists at all.
+    """
+    channel: RssChannel | None = None
+    current_item: RssItem | None = None
+    element_stack: list[str] = []
+    texts: dict[str, list[str]] = {}
+
+    def text_of(name: str) -> str:
+        return _unescape(" ".join(texts.pop(name, [])).strip())
+
+    for token in tokenize(document):
+        if token.kind is TokenKind.OPEN:
+            element_stack.append(token.name)
+            if token.name == "channel":
+                channel = RssChannel(title="")
+            elif token.name == "item" and channel is not None:
+                current_item = RssItem(title="")
+        elif token.kind is TokenKind.SELFCLOSE:
+            if token.name == "cloud" and channel is not None:
+                channel.cloud_domain = token.attr("domain")
+        elif token.kind is TokenKind.TEXT:
+            if element_stack:
+                texts.setdefault(element_stack[-1], []).append(token.text)
+        elif token.kind is TokenKind.CLOSE:
+            name = token.name
+            while element_stack and element_stack[-1] != name:
+                element_stack.pop()
+            if element_stack:
+                element_stack.pop()
+            if channel is None:
+                texts.pop(name, None)
+                continue
+            if current_item is not None:
+                if name == "title":
+                    current_item.title = text_of("title")
+                elif name == "link":
+                    current_item.link = text_of("link")
+                elif name == "description":
+                    current_item.description = text_of("description")
+                elif name == "guid":
+                    current_item.guid = text_of("guid")
+                elif name == "pubdate":
+                    current_item.pub_date = text_of("pubdate")
+                elif name == "item":
+                    channel.items.append(current_item)
+                    current_item = None
+                continue
+            if name == "title":
+                channel.title = text_of("title")
+            elif name == "link":
+                channel.link = text_of("link")
+            elif name == "description":
+                channel.description = text_of("description")
+            elif name == "lastbuilddate":
+                channel.last_build_date = text_of("lastbuilddate")
+            elif name == "ttl":
+                raw = text_of("ttl")
+                if raw.isdigit():
+                    channel.ttl_minutes = int(raw)
+            elif name == "hour":
+                raw = text_of("hour")
+                if raw.strip().isdigit():
+                    channel.skip_hours += (int(raw),)
+            elif name == "day":
+                channel.skip_days += (text_of("day"),)
+    if channel is None:
+        raise ValueError("document contains no <channel> element")
+    return channel

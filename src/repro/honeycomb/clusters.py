@@ -1,0 +1,225 @@
+"""Tradeoff clusters: coarse-grained summaries of many channels.
+
+Running the global optimization requires the tradeoff functions of
+*all* channels, but shipping per-channel data to every node is
+impractical.  Honeycomb instead aggregates channels with similar
+tradeoff factors into *tradeoff clusters* (paper §3.2): each cluster
+records how many channels it stands for and their average factors, and
+the number of clusters per polling level is capped at a constant
+(``tradeoff_bins``; 16 in the paper's implementation, §4).
+
+Channels are assigned to bins by the ratio of their performance and
+cost factors ``f_i/g_i`` — e.g. channels with comparable ``q_i/(u_i
+s_i)`` cluster together in Corona-Fair — on a logarithmic scale, since
+web workload factors span orders of magnitude.
+
+A special *slack cluster* absorbs orphan channels (paper §4): channels
+whose wedge cannot grow keep polling at the baselevel no matter what,
+so their fixed cost is used to correct the optimization target rather
+than entering the optimization itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ChannelFactors:
+    """The per-channel quantities the optimization consumes (Table 1).
+
+    ``subscribers`` is q_i, ``size`` is s_i (content size in bytes),
+    ``update_interval`` is u_i (seconds between content changes), and
+    ``level`` the channel's current polling level.
+    """
+
+    subscribers: float
+    size: float
+    update_interval: float
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.subscribers < 0:
+            raise ValueError("subscriber count cannot be negative")
+        if self.size <= 0:
+            raise ValueError("content size must be positive")
+        if self.update_interval <= 0:
+            raise ValueError("update interval must be positive")
+        if self.level < 0:
+            raise ValueError("polling level cannot be negative")
+
+
+@dataclass
+class TradeoffCluster:
+    """Aggregate of ``count`` channels with similar tradeoff factors.
+
+    Factor sums (not means) are stored so that merging two clusters is
+    exact; means are derived on demand.  ``levels`` histograms the
+    current polling levels of the member channels — the aggregate view
+    every node has of the system's realized polling state.
+    """
+
+    count: int = 0
+    sum_subscribers: float = 0.0
+    sum_size: float = 0.0
+    sum_log_update_interval: float = 0.0
+    levels: dict[int, int] = field(default_factory=dict)
+
+    def add(self, factors: ChannelFactors) -> None:
+        """Fold one channel into the cluster."""
+        self.count += 1
+        self.sum_subscribers += factors.subscribers
+        self.sum_size += factors.size
+        self.sum_log_update_interval += math.log(factors.update_interval)
+        self.levels[factors.level] = self.levels.get(factors.level, 0) + 1
+
+    def merge(self, other: "TradeoffCluster") -> None:
+        """Fold another cluster (same ratio bin) into this one."""
+        self.count += other.count
+        self.sum_subscribers += other.sum_subscribers
+        self.sum_size += other.sum_size
+        self.sum_log_update_interval += other.sum_log_update_interval
+        for level, count in other.levels.items():
+            self.levels[level] = self.levels.get(level, 0) + count
+
+    # ------------------------------------------------------------------
+    def majority_level(self) -> int:
+        """The most common current level among member channels."""
+        if not self.levels:
+            return 0
+        return max(self.levels.items(), key=lambda item: item[1])[0]
+
+    def mean_factors(self) -> ChannelFactors:
+        """The representative (mean) channel this cluster stands for.
+
+        Update intervals are averaged geometrically: they span many
+        orders of magnitude and the ratio metrics (Corona-Fair) are
+        multiplicative in u_i.
+        """
+        if self.count == 0:
+            raise ValueError("empty cluster has no representative")
+        return ChannelFactors(
+            subscribers=self.sum_subscribers / self.count,
+            size=self.sum_size / self.count,
+            update_interval=math.exp(
+                self.sum_log_update_interval / self.count
+            ),
+            level=self.majority_level(),
+        )
+
+    def copy(self) -> "TradeoffCluster":
+        """An independent copy (merging mutates in place)."""
+        duplicate = replace(self, levels=dict(self.levels))
+        return duplicate
+
+
+def default_ratio(factors: ChannelFactors) -> float:
+    """Fallback binning metric: the Corona-Fair ratio ``q/(u·s)``.
+
+    The paper's example (§3.2): "channels with comparable values for
+    q_i/(u_i s_i) are combined into a cluster in Corona-Fair."  Other
+    schemes supply their own ratio (e.g. plain ``q_i`` for Corona-Lite
+    under the polls metric) through the ``ratio`` argument of
+    :meth:`ClusterSummary.add_channel`.
+    """
+    return max(factors.subscribers, 1e-9) / (
+        factors.update_interval * factors.size
+    )
+
+
+def ratio_bin(ratio: float, bins: int) -> int:
+    """Assign a performance/cost ratio to one of ``bins`` log buckets.
+
+    Web workload factors are heavy-tailed, so bins are spaced on log10
+    of the ratio; twelve decades centred on 1 cover every metric the
+    Corona schemes use, and out-of-range ratios clamp to the edge bins.
+    """
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    log_ratio = math.log10(max(ratio, 1e-30))
+    low, high = -6.0, 6.0
+    position = (log_ratio - low) / (high - low)
+    return min(bins - 1, max(0, int(position * bins)))
+
+
+@dataclass
+class ClusterSummary:
+    """Capped set of tradeoff clusters, plus the slack cluster.
+
+    This is the unit exchanged between nodes during the aggregation
+    phase.  ``clusters`` maps a ratio bin to a cluster; the per-level
+    composition lives in each cluster's ``levels`` histogram (channels
+    at different levels with the same ratio have identical tradeoff
+    *curves*, so binning by ratio alone loses nothing for the solver
+    while keeping the summary within the paper's per-level state cap).
+    ``slack`` aggregates orphan channels whose levels are frozen (§4).
+    """
+
+    bins: int = 16
+    clusters: dict[int, TradeoffCluster] = field(default_factory=dict)
+    slack: TradeoffCluster = field(default_factory=TradeoffCluster)
+
+    def add_channel(
+        self,
+        factors: ChannelFactors,
+        orphan: bool = False,
+        ratio: float | None = None,
+    ) -> None:
+        """Fold one channel into the summary (slack if it is an orphan).
+
+        ``ratio`` is the scheme's f/g binning metric; when omitted the
+        Corona-Fair default ``q/(u·s)`` is used.
+        """
+        if orphan:
+            self.slack.add(factors)
+            return
+        key = ratio_bin(
+            default_ratio(factors) if ratio is None else ratio, self.bins
+        )
+        cluster = self.clusters.get(key)
+        if cluster is None:
+            cluster = TradeoffCluster()
+            self.clusters[key] = cluster
+        cluster.add(factors)
+
+    def merge(self, other: "ClusterSummary") -> None:
+        """Fold another summary into this one, preserving the bin cap."""
+        if other.bins != self.bins:
+            raise ValueError("summaries must use the same bin count")
+        for key, cluster in other.clusters.items():
+            mine = self.clusters.get(key)
+            if mine is None:
+                self.clusters[key] = cluster.copy()
+            else:
+                mine.merge(cluster)
+        self.slack.merge(other.slack)
+
+    def copy(self) -> "ClusterSummary":
+        """Deep-enough copy for exchange without aliasing."""
+        duplicate = ClusterSummary(bins=self.bins)
+        duplicate.merge(self)
+        return duplicate
+
+    # ------------------------------------------------------------------
+    def total_channels(self) -> int:
+        """Channels summarized, excluding the slack cluster."""
+        return sum(cluster.count for cluster in self.clusters.values())
+
+    def total_subscribers(self) -> float:
+        """Sum of q_i over summarized channels (excluding slack)."""
+        return sum(
+            cluster.sum_subscribers for cluster in self.clusters.values()
+        )
+
+    def cluster_count(self) -> int:
+        """Number of distinct ratio-bin clusters currently held."""
+        return len(self.clusters)
+
+    def state_size(self) -> int:
+        """Bin-cap check: distinct clusters never exceed ``bins``.
+
+        (The paper caps clusters *per level*; ratio-only binning is
+        strictly tighter — at most ``bins`` clusters total.)
+        """
+        return len(self.clusters)

@@ -1,0 +1,129 @@
+"""The tradeoff-function abstraction Honeycomb optimizes over.
+
+Each channel contributes a performance function ``f(l)`` and a cost
+function ``g(l)`` over the discrete polling levels ``l``.  Honeycomb
+requires both to be monotonic in ``l`` (paper §3.2); for Corona, ``f``
+(subscriber-weighted latency) increases with the level while ``g``
+(server load) decreases — fewer pollers mean slower detection and a
+lighter server load.
+
+A :class:`ChannelTradeoff` may carry an integer ``weight``: a weight-w
+entry behaves exactly like w identical channels.  This is how
+coarse-grained *tradeoff clusters* (summaries of remote channels) enter
+a node's local optimization without being enumerated individually.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ChannelTradeoff:
+    """One channel's (or cluster's) tradeoff curves over allowed levels.
+
+    Parameters
+    ----------
+    key:
+        Caller-chosen identity (channel id, URL, or cluster tag).
+    levels:
+        The allowed polling levels, ascending.  Usually ``0..K``;
+        orphan channels (paper §4) are restricted to the baselevel.
+    f:
+        Performance values ``f(l)`` aligned with ``levels``.
+    g:
+        Cost values ``g(l)`` aligned with ``levels``.
+    weight:
+        Channel multiplicity; ``weight > 1`` represents a cluster of
+        identical channels.
+    """
+
+    key: Hashable
+    levels: tuple[int, ...]
+    f: tuple[float, ...]
+    g: tuple[float, ...]
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("a tradeoff needs at least one allowed level")
+        if not (len(self.levels) == len(self.f) == len(self.g)):
+            raise ValueError("levels, f and g must align")
+        if self.weight < 1:
+            raise ValueError("weight must be a positive integer")
+        if list(self.levels) != sorted(set(self.levels)):
+            raise ValueError("levels must be strictly ascending")
+
+    @classmethod
+    def from_functions(
+        cls,
+        key: Hashable,
+        levels: Sequence[int],
+        f_of_level,
+        g_of_level,
+        weight: int = 1,
+    ) -> "ChannelTradeoff":
+        """Tabulate callables ``f_of_level`` / ``g_of_level`` over levels."""
+        level_tuple = tuple(levels)
+        return cls(
+            key=key,
+            levels=level_tuple,
+            f=tuple(float(f_of_level(level)) for level in level_tuple),
+            g=tuple(float(g_of_level(level)) for level in level_tuple),
+            weight=weight,
+        )
+
+    def is_monotonic(self) -> bool:
+        """Check Honeycomb's precondition: f and g each monotonic in l."""
+
+        def monotone(values: tuple[float, ...]) -> bool:
+            rising = all(a <= b for a, b in zip(values, values[1:]))
+            falling = all(a >= b for a, b in zip(values, values[1:]))
+            return rising or falling
+
+        return monotone(self.f) and monotone(self.g)
+
+
+@dataclass
+class TradeoffProblem:
+    """A full Honeycomb instance: channels plus the constraint target.
+
+    minimize ``sum_i weight_i * f_i(l_i)`` subject to
+    ``sum_i weight_i * g_i(l_i) <= target``.
+    """
+
+    channels: list[ChannelTradeoff] = field(default_factory=list)
+    target: float = 0.0
+
+    def add(self, tradeoff: ChannelTradeoff) -> None:
+        """Append one channel/cluster to the instance."""
+        self.channels.append(tradeoff)
+
+    def total_weight(self) -> int:
+        """Number of (virtual) channels in the instance."""
+        return sum(channel.weight for channel in self.channels)
+
+    def validate(self) -> None:
+        """Raise ValueError if any tradeoff violates monotonicity."""
+        for channel in self.channels:
+            if not channel.is_monotonic():
+                raise ValueError(
+                    f"tradeoff for {channel.key!r} is not monotonic in l"
+                )
+
+    def objective(self, assignment: dict[Hashable, int]) -> float:
+        """Evaluate ``sum f_i(l_i)`` for a full assignment (weight-1 use)."""
+        return self._evaluate(assignment, attr="f")
+
+    def cost(self, assignment: dict[Hashable, int]) -> float:
+        """Evaluate ``sum g_i(l_i)`` for a full assignment (weight-1 use)."""
+        return self._evaluate(assignment, attr="g")
+
+    def _evaluate(self, assignment: dict[Hashable, int], attr: str) -> float:
+        total = 0.0
+        for channel in self.channels:
+            level = assignment[channel.key]
+            index = channel.levels.index(level)
+            total += channel.weight * getattr(channel, attr)[index]
+        return total

@@ -1,0 +1,37 @@
+"""The instant-messaging front end (paper §3.5, §4).
+
+Users add Corona as a buddy and drive it with plain chat messages:
+``subscribe <url>`` and ``unsubscribe <url>``; update notifications
+come back asynchronously as messages carrying the diff.  The paper's
+prototype speaks to Yahoo IM through GAIM via a *centralized
+intermediary* (Yahoo permits one login per handle) and rate-limits
+outgoing messages to stay under the service's caps.
+
+This package simulates that surface:
+
+* :mod:`repro.im.messages` — the chat-command grammar and notification
+  format;
+* :mod:`repro.im.service` — a simulated IM service: buddy registry,
+  presence, and offline buffering ("the IM system buffers the update
+  and delivers it when the subscriber subsequently joins");
+* :mod:`repro.im.gateway` — the Corona-side intermediary with
+  per-client token-bucket rate limiting and burst smoothing.
+"""
+
+from repro.im.gateway import ImGateway
+from repro.im.messages import (
+    Notification,
+    ParsedCommand,
+    format_notification,
+    parse_command,
+)
+from repro.im.service import SimIMService
+
+__all__ = [
+    "ImGateway",
+    "Notification",
+    "ParsedCommand",
+    "SimIMService",
+    "format_notification",
+    "parse_command",
+]

@@ -1,0 +1,80 @@
+"""The IM command grammar and notification format.
+
+"Users send request messages of the form 'subscribe url' and
+'unsubscribe url'" (§3.5).  Parsing is forgiving about case and
+whitespace — these are humans typing into a chat box — but strict
+about the URL being present and plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CommandError(ValueError):
+    """A chat message that does not parse as a Corona command.
+
+    The gateway turns this into a help reply rather than silence.
+    """
+
+
+@dataclass(frozen=True)
+class ParsedCommand:
+    """A recognized user command."""
+
+    action: str  # "subscribe" | "unsubscribe" | "list" | "help"
+    url: str = ""
+
+
+_ACTIONS = ("subscribe", "unsubscribe", "list", "help")
+
+
+def parse_command(text: str) -> ParsedCommand:
+    """Parse one chat message into a command.
+
+    Raises :class:`CommandError` with a human-readable explanation on
+    anything unrecognizable.
+    """
+    words = text.strip().split()
+    if not words:
+        raise CommandError("empty message; try 'help'")
+    action = words[0].lower()
+    if action not in _ACTIONS:
+        raise CommandError(
+            f"unknown command {action!r}; commands: {', '.join(_ACTIONS)}"
+        )
+    if action in ("list", "help"):
+        return ParsedCommand(action=action)
+    if len(words) < 2:
+        raise CommandError(f"'{action}' needs a URL, e.g. '{action} http://…'")
+    url = words[1]
+    if "://" not in url:
+        raise CommandError(f"{url!r} does not look like a URL")
+    return ParsedCommand(action=action, url=url)
+
+
+HELP_TEXT = (
+    "corona commands: 'subscribe <url>', 'unsubscribe <url>', 'list'. "
+    "You will receive update notifications for subscribed pages."
+)
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One update notification pushed to a subscriber."""
+
+    url: str
+    version: int
+    summary: str  # rendered diff or headline excerpt
+    detected_at: float
+
+    def render(self) -> str:
+        return format_notification(self.url, self.version, self.summary)
+
+
+def format_notification(url: str, version: int, summary: str) -> str:
+    """The chat-message body carrying an update diff (§3.5)."""
+    body = summary.strip()
+    if len(body) > 800:
+        body = body[:797] + "..."
+    return f"[corona] update v{version} on {url}\n{body}"

@@ -1,0 +1,41 @@
+"""SHA-1 consistent hashing of node addresses and channel URLs.
+
+The paper's implementation (§4) derives 160-bit identifiers with SHA-1:
+node identifiers from IP addresses and channel identifiers from URLs.
+Consistent hashing (Karger et al. 1997) spreads both uniformly around
+the ring, so channel ownership — the node with the identifier closest
+to the channel's — balances load across nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.overlay.nodeid import NodeId
+
+
+def _sha1_id(data: bytes) -> NodeId:
+    return NodeId(int.from_bytes(hashlib.sha1(data).digest(), "big"))
+
+
+def node_id_for_address(address: str) -> NodeId:
+    """Derive a node identifier from a network address.
+
+    The paper hashes the node's IP address; any stable unique string
+    (``"host:port"``, a simulation label) works identically.
+    """
+    if not address:
+        raise ValueError("node address must be non-empty")
+    return _sha1_id(address.encode("utf-8"))
+
+
+def channel_id(url: str) -> NodeId:
+    """Derive a channel identifier from its URL.
+
+    URLs serve as topics in Corona; the content-hash of the URL places
+    the channel at a uniformly random ring position, which determines
+    its owner node and its wedge at every polling level.
+    """
+    if not url:
+        raise ValueError("channel URL must be non-empty")
+    return _sha1_id(url.encode("utf-8"))

@@ -1,0 +1,118 @@
+"""Leaf sets: each node's nearest ring neighbours.
+
+Pastry nodes track the ``f`` closest nodes on either side along the
+ring.  Corona uses the leaf set for two things: delivering a message to
+the *numerically closest* node (the final routing hop, which defines
+channel ownership) and replicating subscription state on the
+``f``-closest neighbours of the primary owner so that an owner failure
+promotes a neighbour without losing subscriptions (§3.3).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+
+from repro.overlay.nodeid import ID_SPACE, NodeId
+
+
+@dataclass
+class LeafSet:
+    """The ``size`` clockwise and counter-clockwise ring neighbours.
+
+    The structure is deliberately simple: two sorted-by-ring-distance
+    lists, rebuilt incrementally as nodes are observed or removed.
+    """
+
+    owner: NodeId
+    size: int = 8
+    _cw: list[NodeId] = field(default_factory=list)
+    _ccw: list[NodeId] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("leaf set size must be >= 1")
+
+    # ------------------------------------------------------------------
+    def observe(self, candidate: NodeId) -> bool:
+        """Consider ``candidate`` for membership; return True if admitted."""
+        if candidate == self.owner:
+            return False
+        admitted = False
+        admitted |= self._admit(self._cw, self.owner.distance_cw(candidate), candidate)
+        admitted |= self._admit(
+            self._ccw, candidate.distance_cw(self.owner), candidate
+        )
+        return admitted
+
+    def _admit(self, side: list[NodeId], distance: int, candidate: NodeId) -> bool:
+        keyed = [(self._key(side, member), member) for member in side]
+        if candidate in side:
+            return False
+        insort(keyed, (distance, candidate))
+        new_side = [member for _, member in keyed[: self.size]]
+        changed = new_side != side
+        side[:] = new_side
+        return changed and candidate in side
+
+    def _key(self, side: list[NodeId], member: NodeId) -> int:
+        if side is self._cw:
+            return self.owner.distance_cw(member)
+        return member.distance_cw(self.owner)
+
+    # ------------------------------------------------------------------
+    def remove(self, failed: NodeId) -> None:
+        """Drop a failed node from both sides."""
+        if failed in self._cw:
+            self._cw.remove(failed)
+        if failed in self._ccw:
+            self._ccw.remove(failed)
+
+    def members(self) -> list[NodeId]:
+        """All distinct leaf-set members, unordered."""
+        return list(dict.fromkeys(self._cw + self._ccw))
+
+    def clockwise(self) -> list[NodeId]:
+        """Clockwise neighbours, nearest first."""
+        return list(self._cw)
+
+    def counter_clockwise(self) -> list[NodeId]:
+        """Counter-clockwise neighbours, nearest first."""
+        return list(self._ccw)
+
+    # ------------------------------------------------------------------
+    def covers(self, key: NodeId) -> bool:
+        """Return True if ``key`` falls inside the leaf-set span.
+
+        When a routed key lands inside the span, the numerically
+        closest leaf (or the owner itself) is the destination.
+        """
+        if not self._cw or not self._ccw:
+            return True  # degenerate ring: the owner covers everything
+        lo = self._ccw[-1]
+        hi = self._cw[-1]
+        return key.between_cw(lo, hi) or key == lo or key == self.owner
+
+    def closest(self, key: NodeId) -> NodeId:
+        """Numerically closest node to ``key`` among owner + leaves."""
+        best = self.owner
+        best_dist = self._ownership_distance(self.owner, key)
+        for member in self.members():
+            dist = self._ownership_distance(member, key)
+            if dist < best_dist:
+                best, best_dist = member, dist
+        return best
+
+    @staticmethod
+    def _ownership_distance(node: NodeId, key: NodeId) -> int:
+        """Distance metric defining ownership (ties broken uniquely).
+
+        Shortest circular distance, with the node *preceding* the key
+        (key clockwise of node) preferred on exact midpoint ties, so
+        ownership is always unique.
+        """
+        cw = node.distance_cw(key)
+        ccw = ID_SPACE - cw
+        # Bias: treat the counter-clockwise side as infinitesimally
+        # larger so exact midpoint ties resolve deterministically.
+        return min(cw * 2, ccw * 2 + 1)

@@ -1,0 +1,291 @@
+"""The overlay container: membership, multi-hop routing, churn.
+
+:class:`OverlayNetwork` holds the full node population and plays the
+wire between them: it executes multi-hop routes, implements the join
+protocol (state transfer from the nodes on the join route), and the
+self-healing repair that replaces failed routing-table entries (paper
+§3.3, "Corona inherits its robustness ... from the underlying
+structured overlay").
+
+The container is deliberately synchronous — the discrete-event
+simulators layer timing on top; this class answers only *structural*
+questions (who owns key k, who is in this wedge, what route does a
+message take).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.overlay.hashing import node_id_for_address
+from repro.overlay.node import PastryNode
+from repro.overlay.nodeid import NodeId
+from repro.overlay.wedge import base_level, wedge_members
+
+
+class RouteError(RuntimeError):
+    """Raised when routing cannot make progress (partitioned state)."""
+
+
+class OverlayNetwork:
+    """A population of :class:`PastryNode` with routing and churn.
+
+    Parameters
+    ----------
+    base:
+        Digit base ``b`` of the identifier space (16 in the paper).
+    leaf_size:
+        Leaf-set half-width ``f``; also the owner-replication factor.
+    rng:
+        Source of randomness for join gossip sampling, so simulations
+        are reproducible.
+    """
+
+    def __init__(
+        self,
+        base: int = 16,
+        leaf_size: int = 8,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.base = base
+        self.leaf_size = leaf_size
+        self.rng = rng or random.Random(0)
+        self.nodes: dict[NodeId, PastryNode] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_node(self, address: str) -> PastryNode:
+        """Create a node from ``address`` and run the join protocol."""
+        node_id = node_id_for_address(address)
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node id for address {address!r}")
+        node = PastryNode(
+            node_id=node_id,
+            base=self.base,
+            address=address,
+            leaf_size=self.leaf_size,
+        )
+        self._join(node)
+        self.nodes[node_id] = node
+        return node
+
+    def _join(self, joining: PastryNode) -> None:
+        """Pastry join: learn state from the route toward our own id.
+
+        The joining node routes to its own identifier; every node on
+        the route contributes its routing state.  With the synchronous
+        container we additionally let the affected peers observe the
+        newcomer, which stands in for Pastry's join announcements.
+        """
+        if not self.nodes:
+            return
+        seed = self.rng.choice(list(self.nodes.values()))
+        route = self._trace_route(seed, joining.node_id)
+        teachers = set(route)
+        # The numerically closest node shares its leaf set — the join
+        # protocol's final step — which seeds the newcomer's leaves.
+        closest = route[-1]
+        teachers.update(self.nodes[closest].leaves.members())
+        for teacher_id in teachers:
+            teacher = self.nodes.get(teacher_id)
+            if teacher is None:
+                continue
+            joining.observe(teacher.node_id)
+            for contact in teacher.known_nodes():
+                if contact in self.nodes:
+                    joining.observe(contact)
+            teacher.observe(joining.node_id)
+        # Announce to everyone whose state the newcomer should appear
+        # in, and vice versa.  A real deployment reaches the same state
+        # through join announcements and background gossip; the
+        # synchronous container short-circuits it so routing tables are
+        # as complete as the population allows (a slot is empty only
+        # when no node with the required prefix exists) — the property
+        # both wedge floods and cluster aggregation rely on.
+        for other in self.nodes.values():
+            other.observe(joining.node_id)
+            joining.observe(other.node_id)
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Fail a node and run self-healing repair at its peers."""
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        del self.nodes[node_id]
+        for survivor in self.nodes.values():
+            survivor.forget(node_id)
+        self._repair()
+
+    def _repair(self) -> None:
+        """Refill empty routing slots and thin leaf sets from live peers.
+
+        Mirrors Pastry's property that *any* node with the right prefix
+        can occupy a slot: each node re-observes a sample of the live
+        population.  Sampling keeps repair O(N·sample) instead of O(N²).
+        """
+        population = list(self.nodes)
+        if not population:
+            return
+        sample_size = min(len(population), max(16, 4 * self.base))
+        for node in self.nodes.values():
+            for candidate in self.rng.sample(population, sample_size):
+                node.observe(candidate)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _trace_route(self, start: PastryNode, key: NodeId) -> list[NodeId]:
+        """Hop-by-hop route from ``start`` to the owner of ``key``.
+
+        Prefix routing with two safety nets: stale contacts are
+        forgotten and the step retried, and a would-be loop (possible
+        only with inconsistent mid-join state) degrades to greedy
+        distance descent, which strictly shrinks ring distance per hop
+        and therefore terminates.
+        """
+        route = [start.node_id]
+        visited = {start.node_id}
+        current = start
+        for _ in range(2 * len(self.nodes) + 2):
+            hop = current.route_step(key)
+            if hop is not None and hop not in self.nodes:
+                # Stale contact: repair locally and retry the step.
+                current.forget(hop)
+                continue
+            if hop is None or hop in visited:
+                hop = current.closest_known(key, exclude=visited)
+                while hop is not None and hop not in self.nodes:
+                    current.forget(hop)
+                    hop = current.closest_known(key, exclude=visited)
+                if hop is None:
+                    return route
+            route.append(hop)
+            visited.add(hop)
+            current = self.nodes[hop]
+        raise RouteError(f"route for {key!r} did not converge")
+
+    def route(self, start: NodeId, key: NodeId) -> list[NodeId]:
+        """Public routing API: the node-id path from ``start`` to owner."""
+        if start not in self.nodes:
+            raise KeyError(f"unknown start node {start!r}")
+        return self._trace_route(self.nodes[start], key)
+
+    def owner_of(self, key: NodeId) -> NodeId:
+        """The primary owner: numerically closest node to ``key``.
+
+        Computed exactly over the live population; routing converges to
+        the same node (tested as an invariant).
+        """
+        if not self.nodes:
+            raise RouteError("empty overlay")
+        from repro.overlay.leafset import LeafSet
+
+        return min(
+            self.nodes,
+            key=lambda node_id: LeafSet._ownership_distance(node_id, key),
+        )
+
+    def anchor_of(self, key: NodeId) -> NodeId:
+        """The node sharing the longest identifier prefix with ``key``.
+
+        Wedges are defined by prefix match with the channel identifier,
+        so wedge floods must start from a node *inside* the wedge.  The
+        ring-closest owner usually is that node, but near prefix
+        boundaries it may not be; the anchor — found by prefix routing
+        in a live system — is in every non-empty wedge by construction.
+        Ties are broken by ring distance, so anchor == owner whenever
+        the owner has a maximal prefix match.
+        """
+        if not self.nodes:
+            raise RouteError("empty overlay")
+        from repro.overlay.leafset import LeafSet
+
+        return max(
+            self.nodes,
+            key=lambda node_id: (
+                node_id.shared_prefix_len(key, self.base),
+                -LeafSet._ownership_distance(node_id, key),
+            ),
+        )
+
+    def replica_owners(self, key: NodeId, replicas: int) -> list[NodeId]:
+        """Primary owner plus its ``replicas - 1`` closest ring neighbours.
+
+        These hold copies of subscription state (paper §3.3: "the
+        f-closest neighbors of the primary owner along the ring").
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        primary = self.owner_of(key)
+        ordered = sorted(
+            self.nodes, key=lambda node_id: primary.distance(node_id)
+        )
+        return ordered[:replicas]
+
+    # ------------------------------------------------------------------
+    # wedge / structural queries
+    # ------------------------------------------------------------------
+    def wedge(self, channel: NodeId, level: int) -> list[NodeId]:
+        """Live nodes in ``channel``'s level-``level`` wedge."""
+        return wedge_members(channel, level, self.nodes, self.base)
+
+    def base_level(self) -> int:
+        """Current baselevel ``K = ceil(log_b N)``."""
+        return base_level(len(self.nodes), self.base)
+
+    def aggregation_rows(self) -> int:
+        """Prefix depth at which every node is alone in its region.
+
+        Cluster aggregation recurses region-by-region down to singleton
+        regions; a routing-table entry at row ``r`` exists exactly when
+        some pair of nodes shares ``r`` prefix digits, so one digit past
+        the deepest occupied row is guaranteed collision-free.
+        """
+        deepest = 0
+        for node in self.nodes.values():
+            rows = node.table.occupied_rows()
+            if rows:
+                deepest = max(deepest, rows[-1])
+        return deepest + 1
+
+    def routing_tables(self) -> dict[NodeId, "object"]:
+        """Mapping node-id -> routing table (for DAG walks)."""
+        return {node_id: node.table for node_id, node in self.nodes.items()}
+
+    def node_ids(self) -> list[NodeId]:
+        """All live node identifiers."""
+        return list(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n_nodes: int,
+        base: int = 16,
+        leaf_size: int = 8,
+        seed: int = 0,
+        address_prefix: str = "node",
+    ) -> "OverlayNetwork":
+        """Construct an overlay of ``n_nodes`` with synthetic addresses."""
+        network = cls(base=base, leaf_size=leaf_size, rng=random.Random(seed))
+        for index in range(n_nodes):
+            network.add_node(f"{address_prefix}-{index}")
+        return network
+
+
+def build_overlay(
+    n_nodes: int, base: int = 16, leaf_size: int = 8, seed: int = 0
+) -> OverlayNetwork:
+    """Convenience wrapper mirroring :meth:`OverlayNetwork.build`."""
+    return OverlayNetwork.build(
+        n_nodes=n_nodes, base=base, leaf_size=leaf_size, seed=seed
+    )
+
+
+def addresses(n_nodes: int, prefix: str = "node") -> Iterable[str]:
+    """Synthetic node addresses used by tests and simulators."""
+    return (f"{prefix}-{index}" for index in range(n_nodes))

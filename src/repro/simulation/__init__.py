@@ -1,0 +1,34 @@
+"""Simulation substrate: everything the paper ran on real infrastructure.
+
+The paper evaluates Corona against live web servers from PlanetLab;
+this package supplies the simulated equivalents:
+
+* :mod:`repro.simulation.engine` — a discrete-event core (time-ordered
+  heap, cancellable events);
+* :mod:`repro.simulation.latency` — a wide-area message delay model;
+* :mod:`repro.simulation.webserver` — exogenous content servers:
+  synthetic feeds with survey-calibrated update processes, conditional
+  GET semantics, per-source rate limiting, flash-crowd hooks;
+* :mod:`repro.simulation.legacy` — the legacy-RSS client baseline;
+* :mod:`repro.simulation.metrics` — time series and per-channel
+  statistics shared by all experiments;
+* :mod:`repro.simulation.macro` — the scalable hybrid simulator behind
+  the §5.1 experiments (1024 nodes, 20 000 channels, 10⁶ subs);
+* :mod:`repro.simulation.deployment` — the message-level simulator
+  behind the §5.2 PlanetLab experiments (80 full-protocol nodes).
+"""
+
+from repro.simulation.engine import EventEngine
+from repro.simulation.latency import LatencyModel
+from repro.simulation.legacy import LegacyClientPool
+from repro.simulation.metrics import MetricsCollector, TimeSeries
+from repro.simulation.webserver import WebServerFarm
+
+__all__ = [
+    "EventEngine",
+    "LatencyModel",
+    "LegacyClientPool",
+    "MetricsCollector",
+    "TimeSeries",
+    "WebServerFarm",
+]

@@ -1,0 +1,126 @@
+"""A minimal discrete-event simulation core.
+
+Events are callbacks scheduled at absolute times on a binary heap;
+ties break by insertion order, so same-time events run FIFO — a
+property the protocol tests rely on.  Cancellation is lazy (flagged
+and skipped on pop), the standard technique for heap-based schedulers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[float], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`EventEngine.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+
+class EventEngine:
+    """Time-ordered execution of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.executed = 0
+
+    def schedule(
+        self, when: float, callback: Callable[[float], None]
+    ) -> EventHandle:
+        """Schedule ``callback(now)`` at absolute time ``when``.
+
+        Scheduling in the past raises — it always indicates a protocol
+        bug rather than a legitimate need.
+        """
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule at {when} before current time {self.now}"
+            )
+        event = _ScheduledEvent(
+            time=when, seq=next(self._counter), callback=callback
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[float], None]
+    ) -> EventHandle:
+        """Schedule ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        return self.schedule(self.now + delay, callback)
+
+    # ------------------------------------------------------------------
+    def run_until(self, horizon: float) -> int:
+        """Execute events up to and including ``horizon``.
+
+        Returns the number of events executed.  The clock is left at
+        ``horizon`` even if the heap empties earlier.
+        """
+        executed = 0
+        while self._heap and self._heap[0].time <= horizon:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(event.time)
+            executed += 1
+        self.now = max(self.now, horizon)
+        self.executed += executed
+        return executed
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the heap completely (with a runaway guard)."""
+        executed = 0
+        while self._heap:
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"event cascade exceeded {max_events} events"
+                )
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(event.time)
+            executed += 1
+        self.executed += executed
+        return executed
+
+    def pending(self) -> int:
+        """Events still scheduled (including lazily-cancelled ones)."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, if any.
+
+        Cancelled events at the top of the heap are discarded as a side
+        effect (they would be skipped on pop anyway).
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

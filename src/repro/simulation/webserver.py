@@ -1,0 +1,193 @@
+"""Simulated content servers: the exogenous side of the Web.
+
+Corona's publishers "are exogenous entities that serve content only
+when polled" (§1).  :class:`WebServerFarm` hosts one synthetic feed per
+channel URL and gives each the observable surface a real server has:
+
+* an autonomous update process — content changes at the channel's
+  survey-drawn update interval, jittered, regardless of who polls;
+* conditional-GET semantics — a ``Last-Modified``-style version token
+  when the feed carries timestamps, or none (forcing owner-assigned
+  versions, §3.4);
+* per-source rate limiting — the "hard rate-limits based on IP
+  addresses" the paper describes content providers imposing (§1);
+* poll accounting — the per-channel and aggregate load series that
+  Figures 3 and 10 plot.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.core.node import FetchResult
+from repro.feeds.generator import FeedGenerator
+
+
+@dataclass
+class HostedChannel:
+    """One channel's server-side state."""
+
+    url: str
+    update_interval: float
+    generator: FeedGenerator
+    has_timestamps: bool = True
+    next_update: float = 0.0
+    last_published: float = 0.0
+    polls_served: int = 0
+    rate_limited: int = 0
+
+    def version_token(self) -> int:
+        """The Last-Modified-derived version, or 0 when unsupported."""
+        return self.generator.version if self.has_timestamps else 0
+
+
+@dataclass
+class RateLimiter:
+    """Per-(source, channel) minimum poll spacing — the per-IP cap."""
+
+    min_spacing: float = 0.0  # 0 disables limiting
+    _last_poll: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def allow(self, source: str, url: str, now: float) -> bool:
+        if self.min_spacing <= 0:
+            return True
+        key = (source, url)
+        last = self._last_poll.get(key)
+        if last is not None and now - last < self.min_spacing:
+            return False
+        self._last_poll[key] = now
+        return True
+
+
+class WebServerFarm:
+    """All content servers of one experiment, driven by one clock.
+
+    ``advance_to(now)`` publishes every update that fell due — call it
+    before fetching so content is current.  Update processes are
+    periodic with ±30 % jitter (real feeds are roughly periodic:
+    editorial workflows, cron-driven generators), which also matches
+    how the survey measured intervals.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        timestamp_fraction: float = 0.8,
+        rate_limit_spacing: float = 0.0,
+        noise: bool = True,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.channels: dict[str, HostedChannel] = {}
+        self.timestamp_fraction = timestamp_fraction
+        self.limiter = RateLimiter(min_spacing=rate_limit_spacing)
+        self.noise = noise
+        self.total_polls = 0
+        self.total_updates = 0
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    def host(
+        self, url: str, update_interval: float, target_bytes: int = 8192
+    ) -> HostedChannel:
+        """Start hosting ``url`` with the given update interval."""
+        if url in self.channels:
+            return self.channels[url]
+        if update_interval <= 0:
+            raise ValueError("update interval must be positive")
+        items = max(3, int(target_bytes // 400))
+        generator = FeedGenerator(
+            url=url,
+            seed=self.rng.randrange(1 << 30),
+            target_items=items,
+            include_noise=self.noise,
+        )
+        hosted = HostedChannel(
+            url=url,
+            update_interval=update_interval,
+            generator=generator,
+            has_timestamps=self.rng.random() < self.timestamp_fraction,
+            next_update=self._first_update_time(update_interval),
+        )
+        self.channels[url] = hosted
+        return hosted
+
+    def _first_update_time(self, interval: float) -> float:
+        # Uniform residual: the observer arrives at a random phase of
+        # the channel's update cycle.
+        return self._now + self.rng.uniform(0.0, interval)
+
+    def _jittered(self, interval: float) -> float:
+        return interval * self.rng.uniform(0.7, 1.3)
+
+    # ------------------------------------------------------------------
+    def advance_to(self, now: float) -> int:
+        """Publish all updates due by ``now``; returns how many fired."""
+        if now < self._now:
+            raise ValueError("time cannot move backwards")
+        fired = 0
+        for hosted in self.channels.values():
+            while hosted.next_update <= now:
+                publish_time = hosted.next_update
+                hosted.generator.publish_update(publish_time)
+                hosted.last_published = publish_time
+                hosted.next_update = publish_time + self._jittered(
+                    hosted.update_interval
+                )
+                fired += 1
+        self._now = now
+        self.total_updates += fired
+        return fired
+
+    # ------------------------------------------------------------------
+    def fetch(
+        self, url: str, now: float, source: str = "corona"
+    ) -> FetchResult:
+        """Serve one poll (the ``Fetcher`` interface of the core)."""
+        hosted = self.channels.get(url)
+        if hosted is None:
+            raise KeyError(f"not hosting {url!r}")
+        self.advance_to(max(now, self._now))
+        if not self.limiter.allow(source, url, now):
+            hosted.rate_limited += 1
+            # A banned poll returns the previous content unchanged —
+            # the server refuses to do work, it does not error.
+        hosted.polls_served += 1
+        self.total_polls += 1
+        document = hosted.generator.render(now)
+        return FetchResult(
+            url=url,
+            document=document,
+            size=len(document.encode("utf-8")),
+            server_version=hosted.version_token(),
+            published_at=hosted.last_published or None,
+        )
+
+    def published_at(self, url: str) -> float | None:
+        """Ground-truth time of the current version (metrics only)."""
+        hosted = self.channels.get(url)
+        if hosted is None or hosted.last_published == 0.0:
+            return None
+        return hosted.last_published
+
+    # ------------------------------------------------------------------
+    def flash_crowd(self, url: str, factor: float, now: float) -> None:
+        """Accelerate a channel's update process (breaking-news burst).
+
+        Used by the flash-crowd example: the channel's interval shrinks
+        by ``factor`` from ``now`` on.
+        """
+        hosted = self.channels.get(url)
+        if hosted is None:
+            raise KeyError(f"not hosting {url!r}")
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        hosted.update_interval /= factor
+        hosted.next_update = min(
+            hosted.next_update, now + self._jittered(hosted.update_interval)
+        )
+
+    def poll_counts(self) -> dict[str, int]:
+        """Polls served per channel so far."""
+        return {url: hosted.polls_served for url, hosted in self.channels.items()}

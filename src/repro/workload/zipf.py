@@ -1,0 +1,88 @@
+"""Zipf popularity: sampling and fitting.
+
+Channel popularity in the Cornell workload "closely follows a Zipf
+distribution with exponent 0.5" (§5); both the simulations and the
+deployment issue subscriptions from that distribution.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def zipf_popularity(n_channels: int, exponent: float = 0.5) -> np.ndarray:
+    """Normalized popularity masses ``p_k ∝ 1/k^exponent``.
+
+    Index 0 is the most popular channel.
+    """
+    if n_channels < 1:
+        raise ValueError("need at least one channel")
+    if exponent < 0:
+        raise ValueError("Zipf exponent must be non-negative")
+    ranks = np.arange(1, n_channels + 1, dtype=np.float64)
+    masses = ranks**-exponent
+    return masses / masses.sum()
+
+
+def zipf_sample(
+    n_samples: int,
+    n_channels: int,
+    exponent: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw ``n_samples`` channel ranks (0-based) Zipf-distributed."""
+    if n_samples < 0:
+        raise ValueError("n_samples cannot be negative")
+    generator = rng or np.random.default_rng(0)
+    probabilities = zipf_popularity(n_channels, exponent)
+    return generator.choice(n_channels, size=n_samples, p=probabilities)
+
+
+def subscription_counts(
+    n_subscriptions: int,
+    n_channels: int,
+    exponent: float = 0.5,
+    rng: np.random.Generator | None = None,
+    exact: bool = False,
+) -> np.ndarray:
+    """Per-channel subscriber counts q_i for a Zipf workload.
+
+    ``exact=True`` returns the deterministic expectation rounded to
+    integers (at least the analytic shape); otherwise counts are a
+    multinomial draw, matching how independent clients would
+    subscribe.
+    """
+    probabilities = zipf_popularity(n_channels, exponent)
+    if exact:
+        counts = np.floor(probabilities * n_subscriptions).astype(np.int64)
+        deficit = n_subscriptions - int(counts.sum())
+        counts[:deficit] += 1  # give remainders to the head of the ranking
+        return counts
+    generator = rng or np.random.default_rng(0)
+    return generator.multinomial(n_subscriptions, probabilities)
+
+
+def fit_zipf_exponent(counts: np.ndarray) -> float:
+    """Least-squares slope of log(count) vs log(rank).
+
+    Used by tests and the analysis module to confirm generated
+    workloads reproduce the survey's 0.5 exponent; zero counts are
+    excluded (they carry no log information).
+    """
+    ordered = np.sort(np.asarray(counts, dtype=np.float64))[::-1]
+    ordered = ordered[ordered > 0]
+    if ordered.size < 2:
+        raise ValueError("need at least two non-empty channels to fit")
+    log_rank = np.log(np.arange(1, ordered.size + 1, dtype=np.float64))
+    log_count = np.log(ordered)
+    slope, _intercept = np.polyfit(log_rank, log_count, deg=1)
+    return float(-slope)
+
+
+def harmonic_number(n: int, exponent: float) -> float:
+    """Generalized harmonic number ``H_{n,s}`` (Zipf normalizer)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return float(sum(1.0 / math.pow(k, exponent) for k in range(1, n + 1)))

@@ -1,0 +1,84 @@
+"""Channel records and the owner-side factor estimators."""
+
+import pytest
+
+from repro.core.channel import Channel, ChannelStats
+
+
+class TestChannelStats:
+    def test_default_interval_before_observations(self):
+        stats = ChannelStats(default_update_interval=604800.0)
+        assert stats.update_interval == 604800.0
+
+    def test_interval_estimated_from_gaps(self):
+        stats = ChannelStats()
+        stats.record_update(0.0, 1000)
+        stats.record_update(600.0, 1000)
+        assert stats.update_interval == pytest.approx(600.0)
+
+    def test_ewma_smooths(self):
+        stats = ChannelStats(ewma_alpha=0.5)
+        stats.record_update(0.0, 1000)
+        stats.record_update(100.0, 1000)  # estimate 100
+        stats.record_update(400.0, 1000)  # gap 300 -> 0.5*300+0.5*100
+        assert stats.update_interval == pytest.approx(200.0)
+
+    def test_content_size_tracked(self):
+        stats = ChannelStats()
+        stats.record_update(0.0, 4242)
+        assert stats.content_size == 4242
+        stats.record_update(10.0, 0)  # zero size ignored
+        assert stats.content_size == 4242
+
+    def test_factors_snapshot(self):
+        stats = ChannelStats()
+        stats.subscribers = 12
+        factors = stats.factors(level=2)
+        assert factors.subscribers == 12.0
+        assert factors.level == 2
+        assert factors.update_interval == stats.update_interval
+
+    def test_updates_seen_counter(self):
+        stats = ChannelStats()
+        for t in (0.0, 1.0, 2.0):
+            stats.record_update(t, 100)
+        assert stats.updates_seen == 3
+
+
+class TestChannel:
+    def test_identifier_derived_from_url(self):
+        a = Channel(url="http://a.example/f", max_level=3)
+        b = Channel(url="http://a.example/f", max_level=3)
+        assert a.cid == b.cid
+
+    def test_empty_url_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(url="", max_level=3)
+
+    def test_orphan_definition(self):
+        orphan = Channel(url="http://o/", max_level=3, anchor_prefix=1)
+        assert orphan.is_orphan()
+        normal = Channel(url="http://n/", max_level=3, anchor_prefix=2)
+        assert not normal.is_orphan()
+        deep = Channel(url="http://d/", max_level=3, anchor_prefix=3)
+        assert not deep.is_orphan()
+
+    def test_allowed_levels(self):
+        normal = Channel(url="http://n/", max_level=3, anchor_prefix=2)
+        assert normal.allowed_levels() == (0, 1, 2, 3)
+        orphan = Channel(url="http://o/", max_level=3, anchor_prefix=0)
+        assert orphan.allowed_levels() == (3,)
+
+    def test_clamp_level_orphan(self):
+        orphan = Channel(
+            url="http://o/", level=1, max_level=3, anchor_prefix=0
+        )
+        orphan.clamp_level()
+        assert orphan.level == 3
+
+    def test_clamp_level_noop_when_allowed(self):
+        channel = Channel(
+            url="http://n/", level=1, max_level=3, anchor_prefix=3
+        )
+        channel.clamp_level()
+        assert channel.level == 1

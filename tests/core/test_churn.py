@@ -1,0 +1,134 @@
+"""System-level churn: failures, state transfer, continued operation."""
+
+import pytest
+
+from repro.core.config import CoronaConfig
+from repro.core.system import CoronaSystem
+from repro.overlay.hashing import node_id_for_address
+from repro.simulation.webserver import WebServerFarm
+
+
+@pytest.fixture()
+def running_system(fast_config, small_farm):
+    system = CoronaSystem(
+        n_nodes=40, config=fast_config, fetcher=small_farm, seed=51
+    )
+    client = 0
+    for rank in range(10):
+        url = f"http://feed{rank}.example/rss"
+        for _ in range(12):
+            system.subscribe(url, f"client-{client}", now=0.0)
+            client += 1
+    # Warm up: a couple of maintenance rounds and some polls.
+    now = 0.0
+    for step in range(20):
+        now += 30.0
+        small_farm.advance_to(now)
+        system.poll_due(now)
+        if step % 4 == 3:
+            system.run_maintenance_round(now)
+    return system, now
+
+
+class TestFailNode:
+    def test_manager_failure_rehomes_channels(self, running_system):
+        system, now = running_system
+        url = "http://feed0.example/rss"
+        manager = system.managers[url]
+        count_before = system.nodes[manager].registry.count(url)
+        rehomed = system.fail_node(manager, now=now)
+        assert rehomed >= 1
+        new_manager = system.managers[url]
+        assert new_manager != manager
+        assert new_manager in system.nodes
+        assert system.nodes[new_manager].registry.count(url) == count_before
+
+    def test_nonmanager_failure_is_harmless(self, running_system):
+        system, now = running_system
+        managers = set(system.managers.values())
+        bystander = next(
+            node_id
+            for node_id in system.overlay.node_ids()
+            if node_id not in managers
+        )
+        rehomed = system.fail_node(bystander, now=now)
+        assert rehomed == 0
+        assert len(system.nodes) == 39
+
+    def test_system_keeps_detecting_after_failures(
+        self, running_system, small_farm
+    ):
+        system, now = running_system
+        before = system.counters.detections
+        victims = list(system.overlay.node_ids())[:8]
+        for victim in victims:
+            system.fail_node(victim, now=now)
+        for step in range(40):
+            now += 30.0
+            small_farm.advance_to(now)
+            system.poll_due(now)
+            if step % 4 == 3:
+                system.run_maintenance_round(now)
+        assert system.counters.detections > before
+
+    def test_unknown_node_raises(self, running_system):
+        system, _ = running_system
+        with pytest.raises(KeyError):
+            system.fail_node(node_id_for_address("not-a-member"))
+
+    def test_join_takes_over_matching_channels(self, running_system):
+        """A newcomer that becomes a channel's best prefix match adopts
+        it with the subscription state intact."""
+        system, now = running_system
+        total_before = sum(
+            node.registry.total_subscriptions()
+            for node in system.nodes.values()
+        )
+        joined = [
+            system.add_node(f"late-joiner-{index}", now=now)
+            for index in range(8)
+        ]
+        assert all(node_id in system.nodes for node_id in joined)
+        total_after = sum(
+            node.registry.total_subscriptions()
+            for node in system.nodes.values()
+        )
+        assert total_after == total_before
+        for url, manager in system.managers.items():
+            assert system.nodes[manager].managed.get(url) is not None
+            # The manager is always the current anchor.
+            from repro.overlay.hashing import channel_id
+
+            assert manager == system.overlay.anchor_of(channel_id(url))
+
+    def test_join_then_fail_roundtrip(self, running_system, small_farm):
+        system, now = running_system
+        newcomer = system.add_node("transient-node", now=now)
+        system.fail_node(newcomer, now=now)
+        # Still fully operational afterward.
+        for step in range(8):
+            now += 30.0
+            small_farm.advance_to(now)
+            system.poll_due(now)
+        for url, manager in system.managers.items():
+            assert manager in system.nodes
+
+    def test_repeated_failures_converge(self, running_system, small_farm):
+        """Half the cloud can die one node at a time; every channel
+        always has a live manager with intact subscriptions."""
+        system, now = running_system
+        total_subs_before = sum(
+            node.registry.total_subscriptions()
+            for node in system.nodes.values()
+        )
+        for victim in list(system.overlay.node_ids())[:20]:
+            system.fail_node(victim, now=now)
+        assert len(system.nodes) == 20
+        total_subs_after = sum(
+            node.registry.total_subscriptions()
+            for node in system.nodes.values()
+        )
+        assert total_subs_after == total_subs_before
+        for url, manager in system.managers.items():
+            assert manager in system.nodes
+            assert system.nodes[manager].managed.get(url) is not None

@@ -1,0 +1,73 @@
+"""Dissemination planning: message counts and wedge coverage."""
+
+import pytest
+
+from repro.core.dissemination import dissemination_cost, wedge_recipients
+from repro.overlay.hashing import channel_id
+
+
+class TestWedgeRecipients:
+    def test_plan_covers_wedge(self, small_overlay):
+        cid = channel_id("http://plan.example/feed")
+        anchor = small_overlay.anchor_of(cid)
+        plan = wedge_recipients(
+            anchor, small_overlay.routing_tables(), cid, 1,
+            small_overlay.base,
+        )
+        recipients = {recipient for _s, recipient, _d in plan}
+        wedge = set(small_overlay.wedge(cid, 1))
+        wedge.discard(anchor)
+        assert recipients == wedge
+
+    def test_one_message_per_recipient(self, small_overlay):
+        cid = channel_id("http://once.example/feed")
+        anchor = small_overlay.anchor_of(cid)
+        plan = wedge_recipients(
+            anchor, small_overlay.routing_tables(), cid, 0,
+            small_overlay.base,
+        )
+        recipients = [recipient for _s, recipient, _d in plan]
+        assert len(recipients) == len(set(recipients))
+        assert len(recipients) == len(small_overlay) - 1
+
+    def test_depths_increase_from_root(self, small_overlay):
+        cid = channel_id("http://depth2.example/feed")
+        anchor = small_overlay.anchor_of(cid)
+        plan = wedge_recipients(
+            anchor, small_overlay.routing_tables(), cid, 0,
+            small_overlay.base,
+        )
+        senders = {anchor}
+        for _sender, recipient, depth in sorted(plan, key=lambda p: p[2]):
+            assert depth >= 1
+            senders.add(recipient)
+        # Every sender in the plan must have been reached first.
+        for sender, _recipient, _depth in plan:
+            assert sender in senders
+
+
+class TestCost:
+    def test_cost_scales_with_wedge_and_diff_size(self, small_overlay):
+        cid = channel_id("http://cost.example/feed")
+        anchor = small_overlay.anchor_of(cid)
+        tables = small_overlay.routing_tables()
+        messages, bytes_small = dissemination_cost(
+            anchor, tables, cid, 0, small_overlay.base, diff_bytes=100
+        )
+        _messages, bytes_large = dissemination_cost(
+            anchor, tables, cid, 0, small_overlay.base, diff_bytes=1000
+        )
+        assert messages == len(small_overlay) - 1
+        assert bytes_large == 10 * bytes_small
+
+    def test_deeper_level_cheaper(self, small_overlay):
+        cid = channel_id("http://cheap.example/feed")
+        anchor = small_overlay.anchor_of(cid)
+        tables = small_overlay.routing_tables()
+        m0, _ = dissemination_cost(
+            anchor, tables, cid, 0, small_overlay.base, 100
+        )
+        m1, _ = dissemination_cost(
+            anchor, tables, cid, 1, small_overlay.base, 100
+        )
+        assert m1 <= m0

@@ -1,0 +1,48 @@
+"""The level controller: one step per maintenance round."""
+
+import pytest
+
+from repro.core.maintenance import LevelController
+
+
+class TestLevelController:
+    def test_steps_toward_target_one_at_a_time(self):
+        controller = LevelController()
+        controller.set_target("http://a/", 0)
+        level = 3
+        trajectory = []
+        for _ in range(5):
+            level = controller.step("http://a/", level)
+            trajectory.append(level)
+        assert trajectory == [2, 1, 0, 0, 0]
+
+    def test_steps_upward(self):
+        controller = LevelController()
+        controller.set_target("http://a/", 3)
+        assert controller.step("http://a/", 1) == 2
+
+    def test_no_target_means_hold(self):
+        controller = LevelController()
+        assert controller.step("http://a/", 2) == 2
+
+    def test_settled(self):
+        controller = LevelController()
+        controller.set_target("http://a/", 1)
+        assert not controller.settled("http://a/", 2)
+        assert controller.settled("http://a/", 1)
+        assert controller.settled("http://unknown/", 7)
+
+    def test_negative_target_rejected(self):
+        controller = LevelController()
+        with pytest.raises(ValueError):
+            controller.set_target("http://a/", -1)
+
+    def test_target_can_change_mid_flight(self):
+        """The optimizer may revise its mind while a transition is in
+        progress; the controller always steps toward the latest target."""
+        controller = LevelController()
+        controller.set_target("http://a/", 0)
+        level = controller.step("http://a/", 3)  # 2
+        controller.set_target("http://a/", 3)
+        level = controller.step("http://a/", level)
+        assert level == 3

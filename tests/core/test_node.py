@@ -1,0 +1,237 @@
+"""CoronaNode protocol behaviour: polling, diffing, dedup, notify."""
+
+import pytest
+
+from repro.core.config import CoronaConfig
+from repro.core.node import CoronaNode, FetchResult
+from repro.overlay.hashing import node_id_for_address
+
+
+def make_node(scheme="lite", notifier=None) -> CoronaNode:
+    config = CoronaConfig(
+        polling_interval=60.0, maintenance_interval=120.0, base=4,
+        scheme=scheme,
+    )
+    return CoronaNode(
+        node_id_for_address("test-node"), config, notifier=notifier
+    )
+
+
+def fetch(url, body, version=0, size=None, published=None) -> FetchResult:
+    document = f"<rss><channel><title>T</title>{body}</channel></rss>"
+    return FetchResult(
+        url=url,
+        document=document,
+        size=size or len(document),
+        server_version=version,
+        published_at=published,
+    )
+
+
+URL = "http://feed.example/rss"
+
+
+class TestAdoption:
+    def test_adopt_starts_polling_at_owner_level(self):
+        node = make_node()
+        channel = node.adopt_channel(URL, max_level=3, anchor_prefix=3, now=0.0)
+        assert channel.level == 3
+        assert node.scheduler.is_polling(URL)
+        assert node.polling_level(URL) == 3
+
+    def test_adopt_idempotent(self):
+        node = make_node()
+        first = node.adopt_channel(URL, 3, 3, now=0.0)
+        second = node.adopt_channel(URL, 3, 3, now=9.0)
+        assert first is second
+
+    def test_orphan_clamped_on_adoption(self):
+        node = make_node()
+        channel = node.adopt_channel(URL, max_level=3, anchor_prefix=0, now=0.0)
+        assert channel.is_orphan()
+        assert channel.level == 3
+
+
+class TestSubscriptions:
+    def test_subscriber_count_feeds_stats(self):
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        node.subscribe(URL, "alice", 0.0)
+        node.subscribe(URL, "bob", 0.0)
+        assert node.managed[URL].stats.subscribers == 2
+        node.unsubscribe(URL, "alice")
+        assert node.managed[URL].stats.subscribers == 1
+
+    def test_local_factors_include_binning_ratio(self):
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        node.subscribe(URL, "alice", 0.0)
+        ((factors, orphan, ratio),) = node.local_factors()
+        assert factors.subscribers == 1
+        assert not orphan
+        assert ratio > 0
+
+
+class TestPollingFlow:
+    def test_first_fetch_primes_silently(self):
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        task = node.scheduler.tasks[URL]
+        assert node.execute_poll(task, fetch(URL, "<item>one</item>"), 1.0) is None
+        assert task.content.lines  # cache primed
+
+    def test_unchanged_content_no_diff(self):
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        task = node.scheduler.tasks[URL]
+        node.execute_poll(task, fetch(URL, "<item>one</item>"), 1.0)
+        assert node.execute_poll(task, fetch(URL, "<item>one</item>"), 61.0) is None
+
+    def test_changed_content_produces_diff(self):
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        task = node.scheduler.tasks[URL]
+        node.execute_poll(task, fetch(URL, "<item>one</item>"), 1.0)
+        msg = node.execute_poll(task, fetch(URL, "<item>two</item>"), 61.0)
+        assert msg is not None
+        assert msg.base_version == 1
+        assert not msg.diff.is_empty
+        assert msg.needs_version  # no server timestamp supplied
+
+    def test_server_version_respected(self):
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        task = node.scheduler.tasks[URL]
+        node.execute_poll(task, fetch(URL, "<item>one</item>", version=10), 1.0)
+        # Stale replay: older server version must not produce a diff.
+        stale = node.execute_poll(
+            task, fetch(URL, "<item>zero</item>", version=9), 61.0
+        )
+        assert stale is None
+        fresh = node.execute_poll(
+            task, fetch(URL, "<item>two</item>", version=11), 121.0
+        )
+        assert fresh is not None
+        assert not fresh.needs_version
+        assert fresh.version == 11
+
+    def test_volatile_churn_invisible(self):
+        """Noise filtered by the difference engine produces no diff."""
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        task = node.scheduler.tasks[URL]
+        node.execute_poll(
+            task,
+            fetch(URL, "<item>one</item><p>Views: 1,234</p>"),
+            1.0,
+        )
+        result = node.execute_poll(
+            task,
+            fetch(URL, "<item>one</item><p>Views: 9,999</p>"),
+            61.0,
+        )
+        assert result is None
+
+    def test_poll_counter(self):
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        task = node.scheduler.tasks[URL]
+        for t in (1.0, 61.0, 121.0):
+            node.execute_poll(task, fetch(URL, "<item>one</item>"), t)
+        assert node.polls_issued == 3
+
+
+class TestDiffHandling:
+    def _detect(self, node, body, now):
+        task = node.scheduler.tasks[URL]
+        return node.execute_poll(task, fetch(URL, body), now)
+
+    def test_manager_accepts_and_records(self):
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        node.subscribe(URL, "alice", 0.0)
+        self._detect(node, "<item>one</item>", 1.0)
+        msg = self._detect(node, "<item>two</item>", 61.0)
+        event = node.handle_diff(msg, 61.0)
+        assert event is not None
+        assert event.subscribers == 1
+        assert node.managed[URL].stats.updates_seen == 1
+
+    def test_concurrent_detection_deduped(self):
+        """Two wedge members detect the same update; the manager
+        accepts one diff and drops the redundant one (§3.4)."""
+        node = make_node()
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        self._detect(node, "<item>one</item>", 1.0)
+        msg = self._detect(node, "<item>two</item>", 61.0)
+        assert node.handle_diff(msg, 61.0) is not None
+        assert node.handle_diff(msg, 61.5) is None
+        assert node.redundant_diffs == 1
+
+    def test_nonmanager_patches_cache(self):
+        manager = make_node()
+        member = make_node()
+        manager.adopt_channel(URL, 3, 3, now=0.0)
+        member.scheduler.start(URL, 3, now=0.0)
+        # Both prime from the same content.
+        for node in (manager, member):
+            task = node.scheduler.tasks[URL]
+            node.execute_poll(task, fetch(URL, "<item>one</item>"), 1.0)
+        msg = self._detect(manager, "<item>two</item>", 61.0)
+        member.handle_diff(msg, 61.2)
+        manager_lines = manager.scheduler.tasks[URL].content.lines
+        member_lines = member.scheduler.tasks[URL].content.lines
+        assert member_lines == manager_lines
+
+    def test_notifier_invoked_for_subscribers(self):
+        calls = []
+        node = make_node(
+            notifier=lambda url, subs, diff, now: calls.append(
+                (url, frozenset(subs))
+            )
+        )
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        node.subscribe(URL, "alice", 0.0)
+        node.subscribe(URL, "bob", 0.0)
+        self._detect(node, "<item>one</item>", 1.0)
+        msg = self._detect(node, "<item>two</item>", 61.0)
+        node.handle_diff(msg, 61.0)
+        assert calls == [(URL, frozenset({"alice", "bob"}))]
+
+    def test_no_notification_without_subscribers(self):
+        calls = []
+        node = make_node(
+            notifier=lambda url, subs, diff, now: calls.append(url)
+        )
+        node.adopt_channel(URL, 3, 3, now=0.0)
+        self._detect(node, "<item>one</item>", 1.0)
+        msg = self._detect(node, "<item>two</item>", 61.0)
+        node.handle_diff(msg, 61.0)
+        assert calls == []
+
+
+class TestOptimizationIntegration:
+    def test_run_optimization_sets_targets(self):
+        from repro.honeycomb.clusters import ClusterSummary
+
+        node = make_node()
+        for index in range(4):
+            url = f"http://c{index}.example/rss"
+            node.adopt_channel(url, max_level=3, anchor_prefix=3, now=0.0)
+            for client in range(20 * (index + 1)):
+                node.subscribe(url, f"client-{index}-{client}", 0.0)
+        desired = node.run_optimization(ClusterSummary(), n_nodes=64)
+        assert set(desired) == set(node.managed)
+        # With only these channels and a legacy-load budget, popular
+        # channels get levels no higher than unpopular ones.
+        levels = [desired[f"http://c{index}.example/rss"] for index in range(4)]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_orphans_stay_at_owner_level(self):
+        from repro.honeycomb.clusters import ClusterSummary
+
+        node = make_node()
+        node.adopt_channel(URL, max_level=3, anchor_prefix=0, now=0.0)
+        node.subscribe(URL, "alice", 0.0)
+        desired = node.run_optimization(ClusterSummary(), n_nodes=64)
+        assert desired[URL] == 3

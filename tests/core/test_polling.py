@@ -1,0 +1,80 @@
+"""Cooperative polling schedules: stagger, periodicity, membership."""
+
+import random
+
+from repro.core.polling import PollScheduler
+
+
+def scheduler(seed=1, interval=600.0) -> PollScheduler:
+    return PollScheduler(interval=interval, rng=random.Random(seed))
+
+
+class TestStagger:
+    def test_first_poll_within_one_interval(self):
+        sched = scheduler()
+        task = sched.start("http://a/", level=1, now=100.0)
+        assert 100.0 <= task.next_poll <= 700.0
+
+    def test_stagger_spreads_uniformly(self):
+        """Many nodes starting the same channel spread their polls over
+        the interval (§3.3) — check rough uniformity of phases."""
+        phases = []
+        for seed in range(200):
+            task = scheduler(seed=seed).start("http://a/", 1, now=0.0)
+            phases.append(task.next_poll / 600.0)
+        mean = sum(phases) / len(phases)
+        assert 0.4 < mean < 0.6
+        assert min(phases) < 0.1
+        assert max(phases) > 0.9
+
+    def test_restart_preserves_phase(self):
+        """Re-announcing a level must not reshuffle the wedge's
+        established stagger."""
+        sched = scheduler()
+        task = sched.start("http://a/", 1, now=0.0)
+        first_due = task.next_poll
+        sched.start("http://a/", 2, now=50.0)
+        assert sched.tasks["http://a/"].next_poll == first_due
+        assert sched.tasks["http://a/"].level == 2
+
+
+class TestPeriodicity:
+    def test_advance_steps_one_interval(self):
+        sched = scheduler()
+        task = sched.start("http://a/", 1, now=0.0)
+        due = task.next_poll
+        task.advance()
+        assert task.next_poll == due + 600.0
+
+    def test_due_filters_by_time(self):
+        sched = scheduler()
+        sched.start("http://a/", 1, now=0.0)
+        sched.start("http://b/", 1, now=0.0)
+        all_due = sched.due(700.0)
+        assert len(all_due) == 2
+        none_due = sched.due(-1.0)
+        assert none_due == []
+
+    def test_next_due_time(self):
+        sched = scheduler()
+        assert sched.next_due_time() is None
+        sched.start("http://a/", 1, now=0.0)
+        sched.start("http://b/", 1, now=0.0)
+        assert sched.next_due_time() == min(
+            task.next_poll for task in sched.tasks.values()
+        )
+
+
+class TestMembership:
+    def test_stop(self):
+        sched = scheduler()
+        sched.start("http://a/", 1, now=0.0)
+        assert sched.stop("http://a/")
+        assert not sched.stop("http://a/")
+        assert not sched.is_polling("http://a/")
+
+    def test_polls_per_interval(self):
+        sched = scheduler()
+        for index in range(5):
+            sched.start(f"http://{index}/", 1, now=0.0)
+        assert sched.polls_per_interval() == 5

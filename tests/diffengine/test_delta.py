@@ -1,0 +1,79 @@
+"""Delta application: validation, composition, failure modes."""
+
+import pytest
+
+from repro.diffengine.delta import (
+    DeltaError,
+    apply_diff,
+    compose,
+    diff_size_bytes,
+)
+from repro.diffengine.differ import Diff, Hunk, HunkKind, diff_lines
+
+
+class TestApplyValidation:
+    def test_base_mismatch_raises(self):
+        diff = diff_lines(["a", "b"], ["a", "X"], 1, 2)
+        with pytest.raises(DeltaError):
+            apply_diff(["a", "DIFFERENT"], diff)
+
+    def test_hunk_beyond_end_raises(self):
+        hunk = Hunk(
+            kind=HunkKind.CHANGE,
+            old_start=99,
+            old_lines=("x",),
+            new_start=99,
+            new_lines=("y",),
+        )
+        diff = Diff(base_version=1, new_version=2, hunks=(hunk,))
+        with pytest.raises(DeltaError):
+            apply_diff(["a"], diff)
+
+    def test_overlapping_hunks_raise(self):
+        hunks = (
+            Hunk(HunkKind.CHANGE, 1, ("a", "b"), 1, ("x",)),
+            Hunk(HunkKind.CHANGE, 2, ("b",), 2, ("y",)),
+        )
+        diff = Diff(base_version=1, new_version=2, hunks=hunks)
+        with pytest.raises(DeltaError):
+            apply_diff(["a", "b", "c"], diff)
+
+    def test_empty_diff_is_identity(self):
+        diff = Diff(base_version=1, new_version=1, hunks=())
+        assert apply_diff(["a", "b"], diff) == ["a", "b"]
+
+
+class TestCompose:
+    def test_chain_applies_in_order(self):
+        v1 = ["a", "b"]
+        v2 = ["a", "x", "b"]
+        v3 = ["a", "x"]
+        d12 = diff_lines(v1, v2, 1, 2)
+        d23 = diff_lines(v2, v3, 2, 3)
+        assert compose(v1, [d12, d23]) == v3
+
+    def test_version_gap_rejected(self):
+        v1, v2, v3 = ["a"], ["b"], ["c"]
+        d12 = diff_lines(v1, v2, 1, 2)
+        d34 = diff_lines(v2, v3, 3, 4)  # claims base 3, we have 2
+        with pytest.raises(DeltaError):
+            compose(v1, [d12, d34])
+
+    def test_empty_chain(self):
+        assert compose(["a"], []) == ["a"]
+
+
+class TestSizeAccounting:
+    def test_diff_size_positive_for_changes(self):
+        diff = diff_lines(["a"], ["b"], 1, 2)
+        assert diff_size_bytes(diff) > 0
+
+    def test_diff_much_smaller_than_content(self):
+        """Delta encoding wins: the wire size of a one-line change in a
+        large document is a small fraction of the document (§3.4)."""
+        old = [f"content line number {i} with some padding" for i in range(200)]
+        new = list(old)
+        new[100] = "the single changed line"
+        diff = diff_lines(old, new, 1, 2)
+        content_bytes = sum(len(line) + 1 for line in new)
+        assert diff_size_bytes(diff) < content_bytes * 0.05

@@ -1,0 +1,117 @@
+"""Myers diff: shapes, POSIX rendering, and the round-trip property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffengine.delta import apply_diff
+from repro.diffengine.differ import HunkKind, diff_lines
+
+lines_strategy = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "", "x y z"]),
+    max_size=40,
+)
+
+
+class TestShapes:
+    def test_identical_contents_empty_diff(self):
+        diff = diff_lines(["a", "b"], ["a", "b"])
+        assert diff.is_empty
+        assert diff.changed_lines() == 0
+
+    def test_pure_addition(self):
+        diff = diff_lines(["a", "c"], ["a", "b", "c"])
+        assert len(diff.hunks) == 1
+        hunk = diff.hunks[0]
+        assert hunk.kind is HunkKind.ADD
+        assert hunk.new_lines == ("b",)
+        assert hunk.old_start == 1  # insert after old line 1
+
+    def test_pure_deletion(self):
+        diff = diff_lines(["a", "b", "c"], ["a", "c"])
+        hunk = diff.hunks[0]
+        assert hunk.kind is HunkKind.DELETE
+        assert hunk.old_lines == ("b",)
+        assert hunk.old_start == 2
+
+    def test_replacement(self):
+        diff = diff_lines(["a", "b", "c"], ["a", "X", "c"])
+        hunk = diff.hunks[0]
+        assert hunk.kind is HunkKind.CHANGE
+        assert hunk.old_lines == ("b",)
+        assert hunk.new_lines == ("X",)
+
+    def test_feed_shaped_update_is_small(self):
+        """Prepending one item (the typical micronews update) touches
+        only the prepended lines — the survey's '17 lines' behaviour."""
+        old = [f"line-{i}" for i in range(100)]
+        new = ["new-story-1", "new-story-2"] + old[:-2]
+        diff = diff_lines(old, new)
+        assert diff.changed_lines() <= 8
+
+    def test_empty_to_content(self):
+        diff = diff_lines([], ["a", "b"])
+        assert diff.hunks[0].kind is HunkKind.ADD
+        assert diff.hunks[0].old_start == 0
+
+    def test_content_to_empty(self):
+        diff = diff_lines(["a", "b"], [])
+        assert diff.hunks[0].kind is HunkKind.DELETE
+
+
+class TestRendering:
+    def test_posix_style_headers(self):
+        diff = diff_lines(["a", "b", "c"], ["a", "X", "c"], 1, 2)
+        rendered = diff.render()
+        assert "2c2" in rendered
+        assert "< b" in rendered
+        assert "> X" in rendered
+        assert "---" in rendered
+
+    def test_add_header(self):
+        diff = diff_lines(["a"], ["a", "b"])
+        assert diff.hunks[0].header() == "1a2"
+
+    def test_versions_recorded(self):
+        diff = diff_lines(["a"], ["b"], base_version=7, new_version=9)
+        assert diff.base_version == 7
+        assert diff.new_version == 9
+
+
+class TestRoundTrip:
+    @given(lines_strategy, lines_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_apply_inverts_diff(self, old, new):
+        """Property: apply_diff(old, diff(old, new)) == new, always."""
+        diff = diff_lines(old, new)
+        assert apply_diff(old, diff) == new
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_edit_scripts(self, seed):
+        rng = random.Random(seed)
+        words = ["w%d" % i for i in range(10)]
+        old = [rng.choice(words) for _ in range(rng.randint(0, 60))]
+        new = list(old)
+        for _ in range(rng.randint(1, 25)):
+            op = rng.choice(["ins", "del", "rep"])
+            if op == "ins" or not new:
+                new.insert(rng.randint(0, len(new)), rng.choice(words))
+            elif op == "del":
+                new.pop(rng.randrange(len(new)))
+            else:
+                new[rng.randrange(len(new))] = rng.choice(words)
+        diff = diff_lines(old, new)
+        assert apply_diff(old, diff) == new
+
+    def test_minimality_on_disjoint_edits(self):
+        """Myers produces the shortest edit script: two isolated edits
+        yield exactly two single-line hunks."""
+        old = [str(i) for i in range(20)]
+        new = list(old)
+        new[3] = "edited-a"
+        new[15] = "edited-b"
+        diff = diff_lines(old, new)
+        assert len(diff.hunks) == 2
+        assert diff.changed_lines() == 4

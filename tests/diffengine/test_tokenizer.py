@@ -1,0 +1,92 @@
+"""Tolerant tokenizer: well-formed and malformed markup."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffengine.tokenizer import Token, TokenKind, render, tokenize
+
+
+class TestWellFormed:
+    def test_simple_element(self):
+        tokens = tokenize("<p>hello</p>")
+        assert [t.kind for t in tokens] == [
+            TokenKind.OPEN,
+            TokenKind.TEXT,
+            TokenKind.CLOSE,
+        ]
+        assert tokens[0].name == "p"
+        assert tokens[1].text == "hello"
+
+    def test_attributes_parsed(self):
+        (token,) = tokenize('<a href="http://x" class=link disabled>')
+        assert token.attr("href") == "http://x"
+        assert token.attr("class") == "link"
+        assert token.attr("disabled") == ""
+        assert token.attr("missing", "dflt") == "dflt"
+
+    def test_attr_case_insensitive(self):
+        (token,) = tokenize('<a HREF="x">')
+        assert token.attr("href") == "x"
+
+    def test_selfclosing(self):
+        (token,) = tokenize("<br/>")
+        assert token.kind is TokenKind.SELFCLOSE
+        assert token.name == "br"
+
+    def test_comment_and_declaration(self):
+        tokens = tokenize("<!-- note --><!DOCTYPE html><?xml version='1'?>")
+        assert [t.kind for t in tokens] == [
+            TokenKind.COMMENT,
+            TokenKind.DECLARATION,
+            TokenKind.DECLARATION,
+        ]
+
+    def test_tag_names_lowercased(self):
+        (token,) = tokenize("<DIV>")
+        assert token.name == "div"
+
+
+class TestMalformed:
+    def test_stray_lt_is_text(self):
+        tokens = tokenize("a < b")
+        assert all(t.kind is TokenKind.TEXT for t in tokens)
+
+    def test_unterminated_tag_degrades_to_text(self):
+        tokens = tokenize("before <unclosed")
+        assert tokens[-1].kind is TokenKind.TEXT
+
+    def test_unterminated_comment_runs_to_end(self):
+        tokens = tokenize("<!-- never closed")
+        assert tokens == [Token(TokenKind.COMMENT, "<!-- never closed")]
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+    def test_tag_without_name(self):
+        tokens = tokenize("<>")
+        assert tokens[0].kind is TokenKind.TEXT
+
+
+class TestRoundTrip:
+    @given(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("L", "N", "P", "Z"),
+                whitelist_characters="<>/=\"'!-",
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_render_inverts_tokenize(self, document):
+        """Property: tokenization never loses a byte — rendering the
+        token stream reproduces the input exactly, malformed or not."""
+        assert render(tokenize(document)) == document
+
+    def test_render_inverts_real_feed(self):
+        document = (
+            '<?xml version="1.0"?><rss version="2.0"><channel>'
+            "<title>T &amp; U</title><item><title>x<b>y</title></item>"
+            "</channel></rss>"
+        )
+        assert render(tokenize(document)) == document

@@ -1,0 +1,48 @@
+"""Atom rendering and parsing."""
+
+import pytest
+
+from repro.feeds.atom import AtomEntry, AtomFeed, parse_atom, rfc3339_date
+
+
+class TestAtom:
+    def test_roundtrip(self):
+        feed = AtomFeed(
+            title="Atom Feed",
+            feed_id="urn:feed:1",
+            link="http://atom.example",
+            updated=rfc3339_date(0),
+            entries=[
+                AtomEntry(
+                    title="Entry & One",
+                    entry_id="urn:e:1",
+                    link="http://atom.example/1",
+                    summary="summary <text>",
+                    updated=rfc3339_date(50),
+                ),
+                AtomEntry(title="Entry Two"),
+            ],
+        )
+        parsed = parse_atom(feed.render())
+        assert parsed.title == "Atom Feed"
+        assert parsed.feed_id == "urn:feed:1"
+        assert parsed.link == "http://atom.example"
+        assert len(parsed.entries) == 2
+        assert parsed.entries[0].title == "Entry & One"
+        assert parsed.entries[0].summary == "summary <text>"
+        assert parsed.entries[0].link == "http://atom.example/1"
+
+    def test_rfc3339_format(self):
+        assert rfc3339_date(0) == "1970-01-01T00:00:00Z"
+
+    def test_no_feed_raises(self):
+        with pytest.raises(ValueError):
+            parse_atom("<rss><channel/></rss>")
+
+    def test_unknown_elements_skipped(self):
+        parsed = parse_atom(
+            "<feed><title>T</title><weird>x</weird>"
+            "<entry><title>e</title></entry></feed>"
+        )
+        assert parsed.title == "T"
+        assert parsed.entries[0].title == "e"

@@ -1,0 +1,72 @@
+"""Synthetic feed generator: update shapes and noise behaviour."""
+
+from repro.diffengine.extractor import extract_core_lines
+from repro.feeds.generator import FeedGenerator
+from repro.feeds.rss import parse_rss
+
+
+class TestGenerator:
+    def test_initial_document_parses(self):
+        generator = FeedGenerator(url="http://g.example/f", seed=1)
+        parsed = parse_rss(generator.render(0.0))
+        assert len(parsed.items) == generator.target_items
+
+    def test_deterministic_for_same_seed(self):
+        a = FeedGenerator(url="http://g.example/f", seed=5, include_noise=False)
+        b = FeedGenerator(url="http://g.example/f", seed=5, include_noise=False)
+        assert a.render(0.0) == b.render(0.0)
+
+    def test_update_changes_core_content(self):
+        generator = FeedGenerator(url="http://g.example/f", seed=2)
+        before = extract_core_lines(generator.render(0.0))
+        generator.publish_update(now=100.0)
+        after = extract_core_lines(generator.render(100.0))
+        assert before != after
+
+    def test_noise_does_not_change_core_content(self):
+        generator = FeedGenerator(url="http://g.example/f", seed=3)
+        first = extract_core_lines(generator.render(0.0))
+        second = extract_core_lines(generator.render(999.0))
+        assert first == second
+
+    def test_noise_changes_raw_document(self):
+        generator = FeedGenerator(url="http://g.example/f", seed=3)
+        assert generator.render(0.0) != generator.render(999.0)
+
+    def test_versions_increase(self):
+        generator = FeedGenerator(url="http://g.example/f", seed=4)
+        versions = [generator.publish_update(float(i)) for i in range(5)]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == 5
+
+    def test_item_count_bounded(self):
+        generator = FeedGenerator(
+            url="http://g.example/f", seed=6, target_items=8
+        )
+        for step in range(50):
+            generator.publish_update(float(step))
+        parsed = parse_rss(generator.render(50.0))
+        assert len(parsed.items) <= 8 + 2  # double-insert burst allowance
+
+    def test_update_diff_is_small_fraction(self):
+        """The survey's shape: one update touches a small fraction of
+        the document's core lines."""
+        from repro.diffengine.differ import diff_lines
+
+        generator = FeedGenerator(
+            url="http://g.example/f", seed=7, target_items=20,
+            include_noise=False,
+        )
+        old = extract_core_lines(generator.render(0.0))
+        generator.publish_update(10.0)
+        new = extract_core_lines(generator.render(10.0))
+        diff = diff_lines(old, new)
+        assert 0 < diff.changed_lines() < len(old) * 0.5
+
+    def test_content_size_reported(self):
+        generator = FeedGenerator(
+            url="http://g.example/f", seed=8, include_noise=False
+        )
+        assert generator.content_size(0.0) == len(
+            generator.render(0.0).encode("utf-8")
+        )

@@ -1,0 +1,95 @@
+"""RSS 2.0 rendering and tolerant parsing."""
+
+import pytest
+
+from repro.feeds.rss import RssChannel, RssItem, parse_rss, rfc822_date
+
+
+def sample_channel() -> RssChannel:
+    return RssChannel(
+        title="Tech News & Views",
+        link="http://news.example",
+        description="all the <news>",
+        ttl_minutes=30,
+        skip_hours=(0, 1, 2),
+        skip_days=("Saturday",),
+        cloud_domain="notify.example",
+        last_build_date=rfc822_date(0),
+        items=[
+            RssItem(
+                title="First story",
+                link="http://news.example/1",
+                description="body one",
+                guid="guid-1",
+                pub_date=rfc822_date(100),
+            ),
+            RssItem(title="Second <story>", description="body & two"),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_parse_inverts_render(self):
+        original = sample_channel()
+        parsed = parse_rss(original.render())
+        assert parsed.title == original.title
+        assert parsed.link == original.link
+        assert parsed.description == original.description
+        assert parsed.ttl_minutes == 30
+        assert parsed.skip_hours == (0, 1, 2)
+        assert parsed.skip_days == ("Saturday",)
+        assert parsed.cloud_domain == "notify.example"
+        assert len(parsed.items) == 2
+        assert parsed.items[0].title == "First story"
+        assert parsed.items[0].guid == "guid-1"
+        assert parsed.items[1].title == "Second <story>"
+        assert parsed.items[1].description == "body & two"
+
+    def test_escaping(self):
+        rendered = sample_channel().render()
+        assert "Tech News &amp; Views" in rendered
+        assert "<news>" not in rendered.split("<description>")[1].split(
+            "</description>"
+        )[0]
+
+
+class TestTolerance:
+    def test_missing_optional_fields(self):
+        parsed = parse_rss(
+            "<rss><channel><title>T</title><item><title>i</title></item>"
+            "</channel></rss>"
+        )
+        assert parsed.title == "T"
+        assert parsed.ttl_minutes is None
+        assert parsed.items[0].link == ""
+
+    def test_unknown_elements_skipped(self):
+        parsed = parse_rss(
+            "<rss><channel><title>T</title><wibble>x</wibble>"
+            "<item><title>i</title><custom:tag>y</custom:tag></item>"
+            "</channel></rss>"
+        )
+        assert parsed.title == "T"
+        assert parsed.items[0].title == "i"
+
+    def test_unclosed_item_tolerated(self):
+        parsed = parse_rss(
+            "<rss><channel><title>T</title><item><title>i</title>"
+            "</channel></rss>"
+        )
+        assert parsed.title == "T"
+
+    def test_no_channel_raises(self):
+        with pytest.raises(ValueError):
+            parse_rss("<html><body>not a feed</body></html>")
+
+    def test_nonnumeric_ttl_ignored(self):
+        parsed = parse_rss(
+            "<rss><channel><title>T</title><ttl>soon</ttl></channel></rss>"
+        )
+        assert parsed.ttl_minutes is None
+
+
+class TestDates:
+    def test_rfc822_format(self):
+        assert rfc822_date(0) == "Thu, 01 Jan 1970 00:00:00 GMT"

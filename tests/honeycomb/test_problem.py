@@ -1,0 +1,82 @@
+"""Tradeoff-function abstraction: validation and evaluation."""
+
+import pytest
+
+from repro.honeycomb.problem import ChannelTradeoff, TradeoffProblem
+
+
+def simple_channel(key="c", weight=1):
+    return ChannelTradeoff(
+        key=key,
+        levels=(0, 1, 2),
+        f=(1.0, 4.0, 16.0),
+        g=(100.0, 25.0, 6.0),
+        weight=weight,
+    )
+
+
+class TestChannelTradeoff:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            ChannelTradeoff(key="x", levels=(0, 1), f=(1.0,), g=(2.0, 3.0))
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTradeoff(key="x", levels=(), f=(), g=())
+
+    def test_levels_must_ascend(self):
+        with pytest.raises(ValueError):
+            ChannelTradeoff(
+                key="x", levels=(1, 0), f=(1.0, 2.0), g=(2.0, 1.0)
+            )
+
+    def test_weight_positive(self):
+        with pytest.raises(ValueError):
+            simple_channel(weight=0)
+
+    def test_from_functions_tabulates(self):
+        channel = ChannelTradeoff.from_functions(
+            key="x",
+            levels=[0, 1, 2],
+            f_of_level=lambda level: 2.0**level,
+            g_of_level=lambda level: 10.0 / (level + 1),
+        )
+        assert channel.f == (1.0, 2.0, 4.0)
+        assert channel.g == (10.0, 5.0, 10.0 / 3)
+
+    def test_monotonic_detection(self):
+        assert simple_channel().is_monotonic()
+        zigzag = ChannelTradeoff(
+            key="z", levels=(0, 1, 2), f=(1.0, 5.0, 2.0), g=(3.0, 2.0, 1.0)
+        )
+        assert not zigzag.is_monotonic()
+
+
+class TestTradeoffProblem:
+    def test_total_weight(self):
+        problem = TradeoffProblem()
+        problem.add(simple_channel("a", weight=3))
+        problem.add(simple_channel("b"))
+        assert problem.total_weight() == 4
+
+    def test_validate_raises_on_nonmonotonic(self):
+        problem = TradeoffProblem()
+        problem.add(
+            ChannelTradeoff(
+                key="bad",
+                levels=(0, 1, 2),
+                f=(1.0, 5.0, 2.0),
+                g=(3.0, 2.0, 1.0),
+            )
+        )
+        with pytest.raises(ValueError):
+            problem.validate()
+
+    def test_objective_and_cost_evaluation(self):
+        problem = TradeoffProblem(
+            channels=[simple_channel("a"), simple_channel("b", weight=2)],
+            target=100.0,
+        )
+        assignment = {"a": 0, "b": 2}
+        assert problem.objective(assignment) == 1.0 + 2 * 16.0
+        assert problem.cost(assignment) == 100.0 + 2 * 6.0

@@ -1,0 +1,65 @@
+"""IM command grammar and notification formatting."""
+
+import pytest
+
+from repro.im.messages import (
+    CommandError,
+    Notification,
+    format_notification,
+    parse_command,
+)
+
+
+class TestParsing:
+    def test_subscribe(self):
+        command = parse_command("subscribe http://x.example/feed.rss")
+        assert command.action == "subscribe"
+        assert command.url == "http://x.example/feed.rss"
+
+    def test_unsubscribe(self):
+        command = parse_command("unsubscribe http://x.example/feed.rss")
+        assert command.action == "unsubscribe"
+
+    def test_case_and_whitespace_forgiven(self):
+        command = parse_command("  SUBSCRIBE   http://x.example/f  ")
+        assert command.action == "subscribe"
+        assert command.url == "http://x.example/f"
+
+    def test_list_and_help(self):
+        assert parse_command("list").action == "list"
+        assert parse_command("help").action == "help"
+
+    def test_empty_message(self):
+        with pytest.raises(CommandError):
+            parse_command("   ")
+
+    def test_unknown_command(self):
+        with pytest.raises(CommandError):
+            parse_command("gimme http://x/")
+
+    def test_missing_url(self):
+        with pytest.raises(CommandError):
+            parse_command("subscribe")
+
+    def test_implausible_url(self):
+        with pytest.raises(CommandError):
+            parse_command("subscribe not-a-url")
+
+
+class TestNotifications:
+    def test_format_contains_url_and_version(self):
+        body = format_notification("http://x/f", 7, "3 new lines")
+        assert "http://x/f" in body
+        assert "v7" in body
+        assert "3 new lines" in body
+
+    def test_long_summaries_truncated(self):
+        body = format_notification("http://x/f", 1, "y" * 5000)
+        assert len(body) < 1000
+        assert body.endswith("...")
+
+    def test_notification_render(self):
+        notification = Notification(
+            url="http://x/f", version=2, summary="s", detected_at=5.0
+        )
+        assert "v2" in notification.render()

@@ -1,0 +1,42 @@
+"""Consistent hashing of addresses and URLs."""
+
+import pytest
+
+from repro.overlay.hashing import channel_id, node_id_for_address
+from repro.overlay.nodeid import ID_SPACE
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert channel_id("http://a.example/f") == channel_id(
+            "http://a.example/f"
+        )
+        assert node_id_for_address("10.0.0.1") == node_id_for_address(
+            "10.0.0.1"
+        )
+
+    def test_distinct_inputs_distinct_ids(self):
+        urls = [f"http://site{i}.example/feed.rss" for i in range(500)]
+        assert len({channel_id(url) for url in urls}) == 500
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            channel_id("")
+        with pytest.raises(ValueError):
+            node_id_for_address("")
+
+    def test_uniform_spread(self):
+        """Identifiers should spread evenly across the top digit."""
+        buckets = [0] * 16
+        for index in range(4096):
+            cid = channel_id(f"http://u{index}.example/")
+            buckets[cid.value >> (160 - 4)] += 1
+        # Each of 16 buckets expects 256; allow generous tolerance.
+        assert min(buckets) > 150
+        assert max(buckets) < 400
+
+    def test_nodes_and_channels_share_space(self):
+        cid = channel_id("http://x.example/")
+        nid = node_id_for_address("host-1")
+        assert 0 <= cid.value < ID_SPACE
+        assert 0 <= nid.value < ID_SPACE

@@ -1,0 +1,79 @@
+"""Leaf-set membership, ordering, and ownership distance."""
+
+import pytest
+
+from repro.overlay.leafset import LeafSet
+from repro.overlay.nodeid import ID_SPACE, NodeId
+
+
+def nid(value: int) -> NodeId:
+    return NodeId(value % ID_SPACE)
+
+
+class TestMembership:
+    def test_owner_never_admitted(self):
+        leaves = LeafSet(owner=nid(100), size=4)
+        assert not leaves.observe(nid(100))
+        assert leaves.members() == []
+
+    def test_keeps_nearest_per_side(self):
+        leaves = LeafSet(owner=nid(1000), size=2)
+        for value in (1100, 1200, 1300, 900, 800, 700):
+            leaves.observe(nid(value))
+        assert leaves.clockwise() == [nid(1100), nid(1200)]
+        assert leaves.counter_clockwise() == [nid(900), nid(800)]
+
+    def test_duplicate_not_admitted_twice(self):
+        leaves = LeafSet(owner=nid(0), size=4)
+        assert leaves.observe(nid(5))
+        assert not leaves.observe(nid(5))
+        assert leaves.members().count(nid(5)) == 1
+
+    def test_closer_node_evicts_farther(self):
+        leaves = LeafSet(owner=nid(0), size=1)
+        leaves.observe(nid(100))
+        assert leaves.observe(nid(50))
+        assert leaves.clockwise() == [nid(50)]
+
+    def test_remove(self):
+        leaves = LeafSet(owner=nid(0), size=2)
+        leaves.observe(nid(10))
+        leaves.observe(nid(20))
+        leaves.remove(nid(10))
+        assert nid(10) not in leaves.members()
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            LeafSet(owner=nid(0), size=0)
+
+    def test_wraparound_sides(self):
+        leaves = LeafSet(owner=nid(ID_SPACE - 5), size=2)
+        leaves.observe(nid(3))  # clockwise across zero
+        leaves.observe(nid(ID_SPACE - 100))  # counter-clockwise
+        assert nid(3) in leaves.clockwise()
+        assert nid(ID_SPACE - 100) in leaves.counter_clockwise()
+
+
+class TestClosest:
+    def test_owner_closest_when_alone(self):
+        leaves = LeafSet(owner=nid(0), size=2)
+        assert leaves.closest(nid(12345)) == nid(0)
+
+    def test_picks_numerically_closest(self):
+        leaves = LeafSet(owner=nid(0), size=4)
+        for value in (100, 200, ID_SPACE - 150):
+            leaves.observe(nid(value))
+        assert leaves.closest(nid(90)) == nid(100)
+        assert leaves.closest(nid(40)) == nid(0)
+        assert leaves.closest(nid(ID_SPACE - 120)) == nid(ID_SPACE - 150)
+
+    def test_ownership_distance_breaks_ties_uniquely(self):
+        # Key exactly between two nodes: the preceding node wins.
+        distance_a = LeafSet._ownership_distance(nid(0), nid(50))
+        distance_b = LeafSet._ownership_distance(nid(100), nid(50))
+        assert distance_a != distance_b  # never an ambiguous tie
+        assert min(distance_a, distance_b) == distance_a  # 0 precedes 50
+
+    def test_covers_degenerate(self):
+        leaves = LeafSet(owner=nid(7), size=2)
+        assert leaves.covers(nid(12345))  # empty leaf set covers all

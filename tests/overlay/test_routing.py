@@ -1,0 +1,86 @@
+"""Routing-table slot assignment and prefix next-hop selection."""
+
+import pytest
+
+from repro.overlay.nodeid import ID_BITS, NodeId
+from repro.overlay.routing import RoutingTable
+
+
+def make_id(*digits16: int) -> NodeId:
+    """Build an id from leading base-16 digits (rest zero)."""
+    value = 0
+    for index, digit in enumerate(digits16):
+        value |= digit << (ID_BITS - 4 * (index + 1))
+    return NodeId(value)
+
+
+@pytest.fixture()
+def table() -> RoutingTable:
+    return RoutingTable(owner=make_id(0xA, 0xB, 0xC), base=16)
+
+
+class TestSlots:
+    def test_slot_for_owner_is_none(self, table):
+        assert table.slot_for(table.owner) is None
+
+    def test_slot_row_is_shared_prefix(self, table):
+        other = make_id(0xA, 0xB, 0x1)
+        assert table.slot_for(other) == (2, 0x1)
+        far = make_id(0x3)
+        assert table.slot_for(far) == (0, 0x3)
+
+    def test_observe_first_wins(self, table):
+        first = make_id(0x3, 0x1)
+        second = make_id(0x3, 0x2)  # same slot (row 0, col 3)
+        assert table.observe(first)
+        assert not table.observe(second)
+        assert table.entry(0, 0x3) == first
+
+    def test_replace_overwrites(self, table):
+        first = make_id(0x3, 0x1)
+        second = make_id(0x3, 0x2)
+        table.observe(first)
+        assert table.replace(second)
+        assert table.entry(0, 0x3) == second
+
+    def test_remove_only_exact_match(self, table):
+        first = make_id(0x3, 0x1)
+        table.observe(first)
+        table.remove(make_id(0x3, 0x2))  # same slot, different node
+        assert table.entry(0, 0x3) == first
+        table.remove(first)
+        assert table.entry(0, 0x3) is None
+
+    def test_len_counts_entries(self, table):
+        table.observe(make_id(0x1))
+        table.observe(make_id(0x2))
+        table.observe(make_id(0xA, 0x1))
+        assert len(table) == 3
+
+    def test_occupied_rows(self, table):
+        table.observe(make_id(0x1))
+        table.observe(make_id(0xA, 0xB, 0x1))
+        assert table.occupied_rows() == [0, 2]
+
+
+class TestNextHop:
+    def test_next_hop_extends_prefix(self, table):
+        contact = make_id(0x7, 0x5)
+        table.observe(contact)
+        key = make_id(0x7, 0x9)
+        hop = table.next_hop(key)
+        assert hop == contact
+        assert hop.shared_prefix_len(key, 16) > table.owner.shared_prefix_len(
+            key, 16
+        )
+
+    def test_next_hop_missing_slot(self, table):
+        assert table.next_hop(make_id(0x7)) is None
+
+    def test_next_hop_for_own_id(self, table):
+        assert table.next_hop(table.owner) is None
+
+    def test_contacts_deduplicated(self, table):
+        contact = make_id(0x7)
+        table.observe(contact)
+        assert table.contacts() == [contact]

@@ -1,0 +1,65 @@
+"""Deployment simulator: the full protocol under the event clock."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CoronaConfig
+from repro.simulation.deployment import DeploymentSimulator
+from repro.workload.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def deployment_result():
+    trace = generate_trace(
+        n_channels=120,
+        n_subscriptions=1200,
+        seed=23,
+        subscription_window=900.0,
+    )
+    config = CoronaConfig(
+        polling_interval=900.0, maintenance_interval=900.0, base=4
+    )
+    sim = DeploymentSimulator(
+        trace,
+        config,
+        n_nodes=24,
+        seed=6,
+        horizon=2 * 3600.0,
+        bucket_width=900.0,
+        poll_tick=30.0,
+    )
+    return sim.run(), trace, config
+
+
+class TestDeployment:
+    def test_detections_happen(self, deployment_result):
+        result, _, _ = deployment_result
+        assert result.detections > 0
+
+    def test_corona_faster_than_legacy(self, deployment_result):
+        """Figure 9's shape: Corona's detection time sits well below
+        the legacy τ/2."""
+        result, _, _ = deployment_result
+        steady = np.nanmean(result.detection_times[len(result.detection_times) // 2 :])
+        assert steady < result.legacy_detection_time * 0.7
+
+    def test_load_bounded_near_legacy(self, deployment_result):
+        """Figure 10's shape: total polls/min at or below the legacy
+        level (generous tolerance for small-N level granularity)."""
+        result, _, _ = deployment_result
+        steady = result.corona_polls_per_min[-2:].mean()
+        assert steady <= result.legacy_polls_per_min * 1.8
+
+    def test_poll_accounting_consistent(self, deployment_result):
+        result, _, _ = deployment_result
+        assert result.total_polls > 0
+        assert result.final_poll_tasks > 0
+
+    def test_redundant_diffs_minority(self, deployment_result):
+        result, _, _ = deployment_result
+        assert result.redundant_diffs <= max(10, result.detections)
+
+    def test_requires_timed_trace(self):
+        trace = generate_trace(n_channels=10, n_subscriptions=20, seed=1)
+        with pytest.raises(ValueError):
+            DeploymentSimulator(trace, CoronaConfig(), n_nodes=4)

@@ -1,0 +1,101 @@
+"""The discrete-event core: ordering, ties, cancellation."""
+
+import pytest
+
+from repro.simulation.engine import EventEngine
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(3.0, lambda now: fired.append(("c", now)))
+        engine.schedule(1.0, lambda now: fired.append(("a", now)))
+        engine.schedule(2.0, lambda now: fired.append(("b", now)))
+        engine.run_until(10.0)
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_same_time_fifo(self):
+        engine = EventEngine()
+        fired = []
+        for label in "abcde":
+            engine.schedule(5.0, lambda now, l=label: fired.append(l))
+        engine.run_until(5.0)
+        assert fired == list("abcde")
+
+    def test_run_until_is_inclusive(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(5.0, lambda now: fired.append(now))
+        engine.run_until(5.0)
+        assert fired == [5.0]
+        assert engine.now == 5.0
+
+    def test_clock_advances_even_without_events(self):
+        engine = EventEngine()
+        engine.run_until(42.0)
+        assert engine.now == 42.0
+
+    def test_past_scheduling_rejected(self):
+        engine = EventEngine()
+        engine.run_until(10.0)
+        with pytest.raises(ValueError):
+            engine.schedule(5.0, lambda now: None)
+        with pytest.raises(ValueError):
+            engine.schedule_in(-1.0, lambda now: None)
+
+
+class TestCascades:
+    def test_events_scheduling_events(self):
+        engine = EventEngine()
+        fired = []
+
+        def recurring(now: float) -> None:
+            fired.append(now)
+            if now < 5.0:
+                engine.schedule(now + 1.0, recurring)
+
+        engine.schedule(1.0, recurring)
+        engine.run_until(100.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_run_all_guard(self):
+        engine = EventEngine()
+
+        def forever(now: float) -> None:
+            engine.schedule(now + 1.0, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            engine.run_all(max_events=100)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda now: fired.append("x"))
+        handle.cancel()
+        engine.run_until(10.0)
+        assert fired == []
+
+    def test_cancel_idempotent(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda now: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending() == 0
+
+    def test_peek_skips_cancelled(self):
+        engine = EventEngine()
+        first = engine.schedule(1.0, lambda now: None)
+        engine.schedule(2.0, lambda now: None)
+        first.cancel()
+        assert engine.peek_time() == 2.0
+
+    def test_pending_counts_live_events(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda now: None)
+        handle = engine.schedule(2.0, lambda now: None)
+        handle.cancel()
+        assert engine.pending() == 1

@@ -1,0 +1,138 @@
+"""Macro simulator: the §5.1 behaviours at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CoronaConfig
+from repro.simulation.macro import MacroSimulator, run_legacy
+from repro.workload.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(n_channels=600, n_subscriptions=30_000, seed=15)
+
+
+@pytest.fixture(scope="module")
+def lite_result(small_trace):
+    sim = MacroSimulator(
+        small_trace,
+        CoronaConfig(scheme="lite"),
+        n_nodes=128,
+        seed=8,
+        horizon=6 * 3600.0,
+        bucket_width=1800.0,
+    )
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def legacy_result(small_trace):
+    return run_legacy(
+        small_trace, CoronaConfig(), horizon=6 * 3600.0, bucket_width=1800.0,
+        seed=8,
+    )
+
+
+class TestLite:
+    def test_load_converges_to_legacy_budget(self, lite_result, small_trace):
+        """Figure 3's headline: Corona-Lite settles at the legacy load."""
+        target_per_min = small_trace.subscribers.sum() / 1800.0 * 60.0
+        steady = lite_result.polls_per_min[-3:].mean()
+        assert steady == pytest.approx(target_per_min, rel=0.10)
+
+    def test_detection_beats_legacy_by_an_order_of_magnitude(
+        self, lite_result, legacy_result
+    ):
+        """Figure 4 / Table 2: ~15x at paper scale; at least 5x here."""
+        assert lite_result.analytic_weighted_delay * 5 < (
+            legacy_result.analytic_weighted_delay
+        )
+
+    def test_levels_respect_popularity_in_aggregate(self, lite_result):
+        """Figure 5's shape: the popular half of channels polls at
+        levels no higher (on average) than the unpopular half."""
+        half = len(lite_result.final_levels) // 2
+        popular = lite_result.final_levels[:half].mean()
+        unpopular = lite_result.final_levels[half:].mean()
+        assert popular <= unpopular + 0.1
+
+    def test_orphans_stay_owner_only(self, lite_result, small_trace):
+        sim_levels = lite_result.final_levels
+        assert lite_result.orphan_count >= 0
+        # All channels at the max level have exactly one poller.
+        max_level = sim_levels.max()
+        at_max = sim_levels == max_level
+        if at_max.any():
+            assert (lite_result.final_pollers[at_max] >= 1).all()
+
+    def test_detection_series_decreases_from_start(self, lite_result):
+        """Convergence transient: early buckets slower than steady state."""
+        series = lite_result.analytic_series
+        assert series[0] > series[-1]
+
+    def test_measured_delays_positive_and_bounded(self, lite_result):
+        delays = lite_result.per_channel_delay
+        seen = delays[~np.isnan(delays)]
+        assert (seen >= 0).all()
+        assert (seen <= 1800.0).all()
+
+
+class TestLegacyBaseline:
+    def test_legacy_load_flat_at_subscriptions(self, legacy_result, small_trace):
+        expected = small_trace.subscribers.sum() / 1800.0 * 60.0
+        assert np.allclose(legacy_result.polls_per_min, expected)
+
+    def test_legacy_detection_near_half_tau(self, legacy_result):
+        assert legacy_result.mean_weighted_delay == pytest.approx(
+            900.0, rel=0.1
+        )
+
+    def test_legacy_pollers_equal_subscribers(self, legacy_result, small_trace):
+        assert (
+            legacy_result.final_pollers == small_trace.subscribers
+        ).all()
+
+
+class TestFastScheme:
+    def test_fast_meets_latency_target(self, small_trace):
+        config = CoronaConfig(scheme="fast", latency_target=60.0)
+        sim = MacroSimulator(
+            small_trace, config, n_nodes=128, seed=8,
+            horizon=4 * 3600.0, bucket_width=1800.0,
+        )
+        result = sim.run()
+        assert result.analytic_weighted_delay == pytest.approx(
+            60.0, rel=0.35
+        )
+
+    def test_fast_pays_more_load_than_lite(self, small_trace, lite_result):
+        config = CoronaConfig(scheme="fast", latency_target=30.0)
+        sim = MacroSimulator(
+            small_trace, config, n_nodes=128, seed=8,
+            horizon=4 * 3600.0, bucket_width=1800.0,
+        )
+        result = sim.run()
+        assert result.analytic_weighted_delay < (
+            lite_result.analytic_weighted_delay
+        )
+        assert result.polls_per_min[-1] > lite_result.polls_per_min[-1]
+
+
+class TestFairFamily:
+    def test_fair_orders_latency_by_update_interval(self, small_trace):
+        """Figure 7: under Fair, rapidly-changing channels get faster
+        detection; correlation between interval and latency holds."""
+        from repro.analysis.stats import rank_correlation
+
+        config = CoronaConfig(scheme="fair")
+        sim = MacroSimulator(
+            small_trace, config, n_nodes=128, seed=8,
+            horizon=4 * 3600.0, bucket_width=1800.0,
+        )
+        result = sim.run()
+        analytic_latency = 900.0 / result.final_pollers
+        correlation = rank_correlation(
+            small_trace.update_intervals, analytic_latency
+        )
+        assert correlation > 0.2

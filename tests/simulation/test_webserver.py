@@ -1,0 +1,108 @@
+"""Simulated content servers: update processes, fetches, rate limits."""
+
+import pytest
+
+from repro.diffengine.extractor import extract_core_lines
+from repro.simulation.webserver import WebServerFarm
+
+
+@pytest.fixture()
+def farm() -> WebServerFarm:
+    f = WebServerFarm(seed=9)
+    f.host("http://a.example/rss", update_interval=100.0)
+    f.host("http://b.example/rss", update_interval=10_000.0)
+    return f
+
+
+class TestHosting:
+    def test_host_idempotent(self, farm):
+        first = farm.channels["http://a.example/rss"]
+        again = farm.host("http://a.example/rss", update_interval=1.0)
+        assert first is again
+
+    def test_fetch_unknown_raises(self, farm):
+        with pytest.raises(KeyError):
+            farm.fetch("http://nowhere/", 0.0)
+
+    def test_invalid_interval(self, farm):
+        with pytest.raises(ValueError):
+            farm.host("http://c/", update_interval=0.0)
+
+
+class TestUpdateProcess:
+    def test_updates_fire_at_interval_rate(self, farm):
+        fired = farm.advance_to(1000.0)
+        # ~10 updates on the fast channel, likely 0 on the slow one.
+        assert 4 <= fired <= 20
+
+    def test_time_cannot_reverse(self, farm):
+        farm.advance_to(100.0)
+        with pytest.raises(ValueError):
+            farm.advance_to(50.0)
+
+    def test_content_changes_after_update(self, farm):
+        url = "http://a.example/rss"
+        before = extract_core_lines(farm.fetch(url, 0.0).document)
+        farm.advance_to(1000.0)
+        after = extract_core_lines(farm.fetch(url, 1000.0).document)
+        assert before != after
+
+    def test_published_at_tracked(self, farm):
+        url = "http://a.example/rss"
+        assert farm.published_at(url) is None  # nothing published yet
+        farm.advance_to(1000.0)
+        published = farm.published_at(url)
+        assert published is not None
+        assert 0 <= published <= 1000.0
+
+
+class TestFetch:
+    def test_fetch_result_fields(self, farm):
+        result = farm.fetch("http://a.example/rss", 5.0)
+        assert result.url == "http://a.example/rss"
+        assert result.size == len(result.document.encode("utf-8"))
+
+    def test_version_token_monotone_when_supported(self):
+        farm = WebServerFarm(seed=1, timestamp_fraction=1.0)
+        farm.host("http://t.example/rss", update_interval=50.0)
+        versions = []
+        for now in (0.0, 200.0, 400.0):
+            farm.advance_to(now)
+            versions.append(farm.fetch("http://t.example/rss", now).server_version)
+        assert versions == sorted(versions)
+        assert versions[-1] > versions[0]
+
+    def test_no_timestamps_mode(self):
+        farm = WebServerFarm(seed=1, timestamp_fraction=0.0)
+        farm.host("http://n.example/rss", update_interval=50.0)
+        assert farm.fetch("http://n.example/rss", 0.0).server_version == 0
+
+    def test_poll_accounting(self, farm):
+        for _ in range(3):
+            farm.fetch("http://a.example/rss", 0.0)
+        assert farm.poll_counts()["http://a.example/rss"] == 3
+        assert farm.total_polls == 3
+
+
+class TestRateLimitAndFlashCrowd:
+    def test_rate_limiter_spacing(self):
+        farm = WebServerFarm(seed=2, rate_limit_spacing=60.0)
+        farm.host("http://r.example/rss", update_interval=1000.0)
+        farm.fetch("http://r.example/rss", 0.0, source="ip1")
+        farm.fetch("http://r.example/rss", 10.0, source="ip1")  # banned
+        farm.fetch("http://r.example/rss", 10.0, source="ip2")  # other IP ok
+        farm.fetch("http://r.example/rss", 70.0, source="ip1")  # spaced ok
+        assert farm.channels["http://r.example/rss"].rate_limited == 1
+
+    def test_flash_crowd_accelerates_updates(self, farm):
+        url = "http://b.example/rss"  # slow channel
+        farm.flash_crowd(url, factor=100.0, now=0.0)
+        fired_before = farm.channels[url].generator.version
+        farm.advance_to(2000.0)
+        assert farm.channels[url].generator.version > fired_before
+
+    def test_flash_crowd_validation(self, farm):
+        with pytest.raises(KeyError):
+            farm.flash_crowd("http://nowhere/", 2.0, 0.0)
+        with pytest.raises(ValueError):
+            farm.flash_crowd("http://a.example/rss", 0.0, 0.0)

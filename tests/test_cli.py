@@ -1,0 +1,68 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scheme == "lite"
+        assert args.channels == 2000
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scheme", "warp"])
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheme", "fast",
+                "--channels", "150",
+                "--subscriptions", "4000",
+                "--nodes", "32",
+                "--hours", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheme=fast" in out
+        assert "weighted delay" in out
+
+    def test_table2_runs(self, capsys):
+        code = main(
+            [
+                "table2",
+                "--channels", "120",
+                "--subscriptions", "3000",
+                "--nodes", "32",
+                "--hours", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Corona-Lite" in out
+        assert "Legacy-RSS" in out
+
+    def test_deploy_runs(self, capsys):
+        code = main(
+            [
+                "deploy",
+                "--channels", "40",
+                "--subscriptions", "400",
+                "--nodes", "12",
+                "--hours", "1",
+                "--tau", "600",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detections:" in out

@@ -1,0 +1,79 @@
+"""Zipf popularity: sampling, exact counts, exponent fitting."""
+
+import numpy as np
+import pytest
+
+from repro.workload.zipf import (
+    fit_zipf_exponent,
+    harmonic_number,
+    subscription_counts,
+    zipf_popularity,
+    zipf_sample,
+)
+
+
+class TestPopularity:
+    def test_normalized(self):
+        masses = zipf_popularity(1000, 0.5)
+        assert masses.sum() == pytest.approx(1.0)
+        assert (masses > 0).all()
+
+    def test_monotone_decreasing(self):
+        masses = zipf_popularity(100, 0.5)
+        assert (np.diff(masses) <= 0).all()
+
+    def test_exponent_zero_is_uniform(self):
+        masses = zipf_popularity(10, 0.0)
+        assert np.allclose(masses, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_popularity(0)
+        with pytest.raises(ValueError):
+            zipf_popularity(10, -0.5)
+
+
+class TestSampling:
+    def test_sample_range(self):
+        rng = np.random.default_rng(1)
+        ranks = zipf_sample(1000, 50, rng=rng)
+        assert ranks.min() >= 0
+        assert ranks.max() < 50
+
+    def test_head_heavier_than_tail(self):
+        rng = np.random.default_rng(2)
+        ranks = zipf_sample(20000, 100, 0.5, rng=rng)
+        head = (ranks < 10).sum()
+        tail = (ranks >= 90).sum()
+        assert head > tail
+
+    def test_counts_sum_to_subscriptions(self):
+        counts = subscription_counts(10000, 300, rng=np.random.default_rng(3))
+        assert counts.sum() == 10000
+
+    def test_exact_counts_deterministic(self):
+        a = subscription_counts(10000, 300, exact=True)
+        b = subscription_counts(10000, 300, exact=True)
+        assert (a == b).all()
+        assert a.sum() == 10000
+        assert (np.diff(a) <= 0).all()  # monotone by rank
+
+
+class TestFitting:
+    def test_recovers_survey_exponent(self):
+        """Generated workloads must reproduce the survey's Zipf(0.5)."""
+        counts = subscription_counts(
+            1_000_000, 5000, exponent=0.5, rng=np.random.default_rng(4)
+        )
+        fitted = fit_zipf_exponent(counts)
+        assert 0.4 < fitted < 0.6
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.array([5.0]))
+
+    def test_harmonic_number(self):
+        assert harmonic_number(1, 0.5) == 1.0
+        assert harmonic_number(4, 1.0) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+        with pytest.raises(ValueError):
+            harmonic_number(0, 0.5)
