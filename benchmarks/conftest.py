@@ -17,14 +17,21 @@ do not recompute; each benchmark times its *own* scheme's full run
 once via ``benchmark.pedantic``.
 
 Rendered series/tables are also written to ``benchmarks/results/`` so
-a run leaves the paper-comparable artifacts on disk.
+a run leaves the paper-comparable artifacts on disk.  Alongside the
+human-readable ``*_ci.txt`` artifacts, machine-readable
+``BENCH_*.json`` files record key metrics (via the ``data`` argument
+of :func:`write_artifact`) and the session's benchmark timings (via
+``pytest_sessionfinish``) so the performance trajectory can be
+tracked across PRs by tooling.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 import pytest
 
@@ -180,9 +187,71 @@ def deployment_run(scale):
     return simulator.run()
 
 
-def write_artifact(name: str, text: str) -> Path:
-    """Persist a rendered figure/table under benchmarks/results/."""
+def write_artifact(
+    name: str, text: str, data: dict[str, Any] | None = None
+) -> Path:
+    """Persist a rendered figure/table under benchmarks/results/.
+
+    ``data``, when given, is additionally written as
+    ``BENCH_<stem>.json`` next to the text artifact — the
+    machine-readable counterpart tooling diffs across PRs.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
+    if data is not None:
+        json_path = RESULTS_DIR / f"BENCH_{Path(name).stem}.json"
+        json_path.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
     return path
+
+
+_TIMING_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds")
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
+    """Dump per-benchmark timings as BENCH_timings_<scale>.json."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    scale_name = os.environ.get("CORONA_BENCH_SCALE", "ci")
+    entries = []
+    for bench in bench_session.benchmarks:
+        entry: dict[str, Any] = {
+            "name": bench.name,
+            "fullname": bench.fullname,
+            "group": bench.group,
+        }
+        stats = getattr(bench, "stats", None)
+        if stats is not None:
+            # A benchmark that errored mid-run leaves Stats with no
+            # data; its min/max/... properties then raise rather than
+            # return None, and this hook must not mask the failure.
+            try:
+                for field_name in _TIMING_FIELDS:
+                    value = getattr(stats, field_name, None)
+                    if value is not None:
+                        entry[field_name] = value
+            except ValueError:
+                pass
+        entries.append(entry)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_timings_{scale_name}.json"
+    # Merge with any existing file so partial runs (pytest -k, a
+    # single benchmark file) update their entries without clobbering
+    # the rest of the recorded session.
+    merged: dict[str, dict[str, Any]] = {}
+    if path.exists():
+        try:
+            merged = {
+                item["fullname"]: item
+                for item in json.loads(path.read_text())
+            }
+        except (json.JSONDecodeError, KeyError, TypeError):
+            merged = {}
+    for entry in entries:
+        merged[entry["fullname"]] = entry
+    ordered = sorted(merged.values(), key=lambda item: item["fullname"])
+    path.write_text(json.dumps(ordered, indent=2, sort_keys=True) + "\n")

@@ -29,7 +29,27 @@ def test_fig03_network_load(benchmark, runner, scale):
         },
         unit="kbps/channel",
     )
-    write_artifact(f"fig03_network_load_{scale.name}.txt", artifact)
+    write_artifact(
+        f"fig03_network_load_{scale.name}.txt",
+        artifact,
+        data={
+            "scale": scale.name,
+            "bucket_times": [float(t) for t in lite.bucket_times],
+            "legacy_kbps_per_channel": [
+                float(v) for v in legacy.kbps_per_channel
+            ],
+            "lite_kbps_per_channel": [
+                float(v) for v in lite.kbps_per_channel
+            ],
+            "fast_kbps_per_channel": [
+                float(v) for v in fast.kbps_per_channel
+            ],
+            "lite_steady_polls_per_min": float(
+                steady_state_mean(lite.polls_per_min, 0.34)
+            ),
+            "legacy_polls_per_min": float(legacy.polls_per_min[0]),
+        },
+    )
 
     # Shape 1: legacy load is flat at the subscription rate.
     assert np.allclose(legacy.polls_per_min, legacy.polls_per_min[0])

@@ -29,7 +29,25 @@ def test_fig09_deployment_detection(benchmark, deployment_run, scale):
         },
         unit="s",
     )
-    write_artifact(f"fig09_deployment_detection_{scale.name}.txt", artifact)
+    write_artifact(
+        f"fig09_deployment_detection_{scale.name}.txt",
+        artifact,
+        data={
+            "scale": scale.name,
+            "bucket_times": [float(t) for t in times],
+            "detection_times": [
+                None if np.isnan(v) else float(v)
+                for v in result.detection_times
+            ],
+            "mean_detection_time": (
+                None
+                if np.isnan(result.mean_detection_time)
+                else float(result.mean_detection_time)
+            ),
+            "legacy_detection_time": float(result.legacy_detection_time),
+            "detections": int(result.detections),
+        },
+    )
 
     assert result.detections > 0
 

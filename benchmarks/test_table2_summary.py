@@ -60,7 +60,21 @@ def test_table2_summary(benchmark, runner, scale):
         rows,
         title=f"Table 2 (scale={scale.name})",
     )
-    write_artifact(f"table2_summary_{scale.name}.txt", artifact)
+    write_artifact(
+        f"table2_summary_{scale.name}.txt",
+        artifact,
+        data={
+            "scale": scale.name,
+            "rows": [
+                {
+                    "scheme": str(row[0]),
+                    "avg_detection_s": float(row[1]),
+                    "polls_per_30min_per_channel": float(row[2]),
+                }
+                for row in rows
+            ],
+        },
+    )
 
     lite, fair = results["lite"], results["fair"]
     sqrt_v, log_v = results["fair-sqrt"], results["fair-log"]

@@ -6,96 +6,40 @@ resilience properties from the underlying structured overlay ...  When
 new nodes join the system or when nodes fail, Corona ensures the
 transfer of subscription state to the new owners."
 
-This example kills a quarter of the cloud mid-run — including channel
-managers — transfers their subscription state to the new owners, and
-shows updates keep flowing to subscribers afterward.
+This example is a thin wrapper over the built-in ``churn-resilience``
+scenario (:mod:`repro.scenarios.builtin`): a quarter of the cloud —
+channel managers included — dies at once mid-run; ownership transfer
+re-homes the channels with their subscription state and update
+delivery continues.  Equivalent CLI::
+
+    python -m repro scenario run churn-resilience --seed 17
 
 Run:  python examples/churn_resilience.py
 """
 
 from __future__ import annotations
 
-from repro.core.config import CoronaConfig
-from repro.core.system import CoronaSystem
-from repro.simulation.webserver import WebServerFarm
+from repro.scenarios import ScenarioMetrics, ScenarioRunner, get_scenario
 
-URLS = [f"http://chan{i}.example/feed.rss" for i in range(12)]
+SEED = 17
 
 
-def drive(corona, farm, minutes: float, start: float) -> float:
-    now = start
-    steps = int(minutes * 60 / 30.0)
-    for step in range(steps):
-        now += 30.0
-        farm.advance_to(now)
-        corona.poll_due(now)
-        if step % 8 == 7:
-            corona.run_maintenance_round(now)
-    return now
-
-
-def fail_nodes(corona: CoronaSystem, victims) -> int:
-    """Fail nodes through the system's churn API (§3.3)."""
-    transferred = 0
-    for victim in victims:
-        transferred += corona.fail_node(victim)
-    return transferred
+def run(seed: int = SEED) -> ScenarioMetrics:
+    """Execute the built-in scenario; deterministic for a fixed seed."""
+    return ScenarioRunner(get_scenario("churn-resilience"), seed=seed).run()
 
 
 def main() -> None:
-    farm = WebServerFarm(seed=13)
-    for url in URLS:
-        farm.host(url, update_interval=240.0)
-
-    config = CoronaConfig(
-        polling_interval=120.0, maintenance_interval=240.0, base=4,
-        scheme="lite",
-    )
-    corona = CoronaSystem(n_nodes=48, config=config, fetcher=farm, seed=17)
-    client = 0
-    for url in URLS:
-        for _ in range(20):
-            corona.subscribe(url, f"reader-{client}", now=0.0)
-            client += 1
-
-    print("=== Churn resilience (48 nodes, 12 channels) ===")
-    now = drive(corona, farm, minutes=20.0, start=0.0)
-    before = corona.counters.detections
-    print(f"t={now / 60:.0f}min  detections so far: {before}")
-
-    # Kill 12 nodes, managers included.
-    managers = {corona.managers[url] for url in URLS}
-    victims = [node for node in list(managers)[:4]]
-    victims += [
-        node for node in corona.overlay.node_ids()
-        if node not in victims and node not in managers
-    ][: 12 - len(victims)]
-    moved = fail_nodes(corona, victims)
+    metrics = run()
+    print("=== Churn resilience (built-in scenario 'churn-resilience') ===\n")
+    print(metrics.summary())
     print(
-        f"killed {len(victims)} nodes ({len(set(victims) & managers)} of "
-        f"them channel managers); re-homed {moved} channels with their "
-        "subscription state"
-    )
-
-    now = drive(corona, farm, minutes=20.0, start=now)
-    after = corona.counters.detections
-    print(f"t={now / 60:.0f}min  detections since failure: {after - before}")
-
-    # Every channel still has a live manager and subscribers intact.
-    lost = 0
-    for url in URLS:
-        manager = corona.managers[url]
-        assert manager in corona.nodes
-        if corona.nodes[manager].registry.count(url) != 20:
-            lost += 1
-    print(
-        f"subscription state after churn: {12 - lost}/12 channels fully "
-        "intact (replica transfer)"
-    )
-    print(
-        "\nReading: failures shrink wedges and move ownership, but the "
+        f"\nReading: {metrics.crashes} nodes died mid-run and "
+        f"{metrics.rehomed_channels} channels were re-homed with their "
+        f"subscriber sets, yet {metrics.detections} updates were still "
+        "detected — failures shrink wedges and move ownership, but the "
         "self-healing overlay re-routes, new anchors adopt the channels "
-        "with transferred subscriber sets, and update delivery "
+        "with transferred subscriber state, and update delivery "
         "continues — no client ever re-subscribes."
     )
 

@@ -5,16 +5,21 @@ Usage::
     python -m repro table2   [--channels N] [--subscriptions N] [--nodes N]
     python -m repro simulate --scheme lite [--channels N] [--hours H] ...
     python -m repro deploy   [--nodes N] [--channels N] [--hours H]
+    python -m repro scenario list
+    python -m repro scenario run <name> [--seed N] [--variant V] [--json]
 
 ``table2`` reproduces the paper's summary table across all schemes;
 ``simulate`` runs one scheme through the macro simulator and prints
 the Figure 3/4 series; ``deploy`` runs the full-protocol deployment
-experiment (Figures 9–10).
+experiment (Figures 9–10); ``scenario`` drives the declarative
+orchestration subsystem (:mod:`repro.scenarios`) — fault-injection
+timelines over the full protocol stack.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -22,6 +27,13 @@ import numpy as np
 from repro.analysis.stats import rank_correlation, steady_state_mean
 from repro.analysis.tables import format_series, format_table
 from repro.core.config import SCHEME_NAMES, CoronaConfig
+from repro.scenarios import (
+    ScenarioRunner,
+    ScenarioSpecError,
+    get_scenario,
+    list_scenarios,
+)
+from repro.scenarios.registry import UnknownScenarioError
 from repro.simulation.deployment import DeploymentSimulator
 from repro.simulation.macro import MacroSimulator, run_legacy
 from repro.workload.trace import generate_trace
@@ -143,6 +155,49 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in list_scenarios():
+        variants = ", ".join(spec.variant_labels()) or "-"
+        rows.append(
+            [spec.name, spec.n_nodes, spec.workload.n_channels,
+             len(spec.events), variants, spec.description]
+        )
+    print(
+        format_table(
+            ["scenario", "nodes", "channels", "events", "variants",
+             "description"],
+            rows,
+            title="Built-in scenarios (repro scenario run <name>)",
+        )
+    )
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    try:
+        spec = get_scenario(args.name)
+        runner = ScenarioRunner(spec, seed=args.seed)
+        if args.variant is not None:
+            results = {args.variant: runner.run(args.variant)}
+        else:
+            results = runner.run_all()
+    except (UnknownScenarioError, ScenarioSpecError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {
+            label: metrics.to_dict() for label, metrics in results.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for index, metrics in enumerate(results.values()):
+        if index:
+            print()
+        print(metrics.summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -169,6 +224,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     deploy.add_argument("--base", type=int, default=4)
     deploy.set_defaults(func=cmd_deploy)
+
+    scenario = commands.add_parser(
+        "scenario", help="declarative scenario & fault-injection runner"
+    )
+    scenario_commands = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_list = scenario_commands.add_parser(
+        "list", help="show the registered scenarios"
+    )
+    scenario_list.set_defaults(func=cmd_scenario_list)
+    scenario_run = scenario_commands.add_parser(
+        "run", help="run one scenario (all its variants by default)"
+    )
+    scenario_run.add_argument("name", help="registered scenario name")
+    scenario_run.add_argument("--seed", type=int, default=0)
+    scenario_run.add_argument(
+        "--variant", default=None, help="run only this variant"
+    )
+    scenario_run.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable metrics instead of the summary",
+    )
+    scenario_run.set_defaults(func=cmd_scenario_run)
 
     return parser
 

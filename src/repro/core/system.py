@@ -14,6 +14,7 @@ the examples use coarse steps).
 from __future__ import annotations
 
 import dataclasses
+import random
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
@@ -53,6 +54,9 @@ class SystemCounters:
     maintenance_messages: int = 0
     detections: int = 0
     redundant_diffs: int = 0
+    joins: int = 0
+    crashes: int = 0
+    rehomed_channels: int = 0
 
 
 class CoronaSystem:
@@ -87,6 +91,12 @@ class CoronaSystem:
         self.managers: dict[str, NodeId] = {}
         self.counters = SystemCounters()
         self.detections: list[DetectionEvent] = []
+        self._join_counter = 0
+        # Victim selection for crash_nodes when no rng is supplied:
+        # seeded from the system seed (string seeding hashes via
+        # SHA-512, so it is stable across processes) and advancing
+        # across calls, so successive crash waves draw independently.
+        self._churn_rng = random.Random(f"corona-churn-{seed}")
 
     # ------------------------------------------------------------------
     # subscriptions
@@ -166,6 +176,7 @@ class CoronaSystem:
             node.registry.import_state(state)
             adopted.stats.subscribers = node.registry.count(url)
             self.managers[url] = pastry_node.node_id
+        self.counters.joins += 1
         return pastry_node.node_id
 
     def fail_node(self, node_id: NodeId, now: float = 0.0) -> int:
@@ -208,7 +219,69 @@ class CoronaSystem:
             channel.stats.subscribers = node.registry.count(url)
             self.managers[url] = anchor
             rehomed += 1
+        self.counters.crashes += 1
+        self.counters.rehomed_channels += rehomed
         return rehomed
+
+    def manager_nodes(self) -> set[NodeId]:
+        """Nodes currently managing at least one channel."""
+        return set(self.managers.values())
+
+    def join_nodes(
+        self, count: int, now: float = 0.0, address_prefix: str = "joiner"
+    ) -> list[NodeId]:
+        """Join ``count`` fresh nodes; returns their ids in join order.
+
+        Addresses are minted from a monotonic counter so repeated waves
+        (scenario churn timelines) never collide.
+        """
+        if count < 0:
+            raise ValueError("join count cannot be negative")
+        joined: list[NodeId] = []
+        for _ in range(count):
+            self._join_counter += 1
+            address = f"{address_prefix}-{self._join_counter}"
+            joined.append(self.add_node(address, now=now))
+        return joined
+
+    def crash_nodes(
+        self,
+        count: int,
+        now: float = 0.0,
+        rng: random.Random | None = None,
+        target: str = "any",
+    ) -> list[NodeId]:
+        """Fail ``count`` nodes picked uniformly from a target pool.
+
+        ``target`` selects the pool: ``"any"`` (whole population),
+        ``"managers"`` (nodes owning channels — the worst-case churn
+        the paper's §3.3 state transfer must absorb) or
+        ``"bystanders"`` (nodes owning nothing — pure overlay churn).
+        The selection is drawn from ``rng`` when given (deterministic
+        under a seeded generator — scenario replays depend on it),
+        otherwise from a per-system generator seeded at construction,
+        so repeated waves draw independent victims yet the whole run
+        stays reproducible.  At least one node always survives.
+        Returns the victims in failure order.
+        """
+        if count < 0:
+            raise ValueError("crash count cannot be negative")
+        if target not in ("any", "managers", "bystanders"):
+            raise ValueError(
+                "target must be 'any', 'managers' or 'bystanders'"
+            )
+        generator = rng if rng is not None else self._churn_rng
+        managers = self.manager_nodes()
+        pool = list(self.nodes)
+        if target == "managers":
+            pool = [node_id for node_id in pool if node_id in managers]
+        elif target == "bystanders":
+            pool = [node_id for node_id in pool if node_id not in managers]
+        count = min(count, len(pool), len(self.nodes) - 1)
+        victims = generator.sample(pool, count) if count else []
+        for victim in victims:
+            self.fail_node(victim, now=now)
+        return victims
 
     # ------------------------------------------------------------------
     # protocol rounds

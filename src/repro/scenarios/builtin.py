@@ -1,0 +1,183 @@
+"""The built-in scenario library.
+
+Seven scenarios covering the paper's evaluation axes and the failure
+modes it argues Corona absorbs: steady-state operation, a §3.1 flash
+crowd, §3.3 churn (sustained and catastrophic), publish-rate bursts,
+Zipf-skew sensitivity and wide-area degradation.  All are sized to
+finish in seconds so they double as CI smoke workloads; scale/perf
+experiments override fields via variants or
+:meth:`ScenarioSpec.from_dict`.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register
+from repro.scenarios.spec import (
+    ChurnWave,
+    FlashCrowd,
+    NetworkDegradation,
+    NodeCrash,
+    NodeJoin,
+    ScenarioSpec,
+    UpdateBurst,
+    WorkloadSpec,
+)
+
+STEADY_STATE = register(
+    ScenarioSpec(
+        name="steady-state",
+        description=(
+            "Baseline: no faults, Zipf-0.5 workload on a stable "
+            "overlay — the control every other scenario is read "
+            "against."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+    )
+)
+
+FLASH_CROWD = register(
+    ScenarioSpec(
+        name="flash-crowd",
+        description=(
+            "A breaking story: one channel gains 400 subscribers in a "
+            "minute and updates 4x faster; server load must stay "
+            "capped at the wedge (§3.1)."
+        ),
+        n_nodes=64,
+        horizon=3600.0,
+        workload=WorkloadSpec(
+            n_channels=13,
+            n_subscriptions=104,
+            zipf_exponent=0.0,
+            update_interval_scale=0.02,
+        ),
+        events=(
+            FlashCrowd(
+                at=1200.0,
+                channel=0,
+                subscribers=400,
+                window=60.0,
+                update_factor=4.0,
+            ),
+        ),
+    )
+)
+
+HEAVY_CHURN = register(
+    ScenarioSpec(
+        name="heavy-churn",
+        description=(
+            "Membership treadmill: one crash and one join per minute "
+            "for 15 minutes, then 6 simultaneous manager failures "
+            "(§3.3 ownership transfer under fire)."
+        ),
+        n_nodes=48,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=24, n_subscriptions=480),
+        events=(
+            ChurnWave(
+                at=900.0,
+                duration=900.0,
+                interval=60.0,
+                crashes_per_tick=1,
+                joins_per_tick=1,
+            ),
+            NodeCrash(at=2100.0, count=6, target="managers"),
+        ),
+    )
+)
+
+CHURN_RESILIENCE = register(
+    ScenarioSpec(
+        name="churn-resilience",
+        description=(
+            "The churn example as data: a quarter of the cloud dies "
+            "at once, managers included; detection must continue with "
+            "subscription state intact."
+        ),
+        n_nodes=48,
+        horizon=3600.0,
+        workload=WorkloadSpec(
+            n_channels=12,
+            n_subscriptions=240,
+            zipf_exponent=0.0,
+            update_interval_scale=0.02,
+        ),
+        events=(
+            NodeCrash(at=1800.0, count=4, target="managers"),
+            NodeCrash(at=1800.0, count=8, target="bystanders"),
+        ),
+    )
+)
+
+ZIPF_SKEW_SWEEP = register(
+    ScenarioSpec(
+        name="zipf-skew-sweep",
+        description=(
+            "Popularity-skew sensitivity: the same cloud under flat, "
+            "survey (0.5) and heavy-tailed (0.9) Zipf exponents."
+        ),
+        n_nodes=32,
+        horizon=2700.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        variants={
+            "zipf-0.0": {"workload": {"zipf_exponent": 0.0}},
+            "zipf-0.5": {"workload": {"zipf_exponent": 0.5}},
+            "zipf-0.9": {"workload": {"zipf_exponent": 0.9}},
+        },
+    )
+)
+
+BURST_PUBLISH = register(
+    ScenarioSpec(
+        name="burst-publish",
+        description=(
+            "Update-rate burst: the top quarter of channels publish "
+            "8x faster for 10 minutes, then recover — cooperative "
+            "polling must ride the transient."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(
+            n_channels=40, n_subscriptions=800, update_interval_scale=0.04
+        ),
+        events=(
+            UpdateBurst(
+                at=1200.0, duration=600.0, factor=8.0, channel_fraction=0.25
+            ),
+        ),
+    )
+)
+
+DEGRADED_OVERLAY = register(
+    ScenarioSpec(
+        name="degraded-overlay",
+        description=(
+            "Wide-area brown-out: per-hop latency inflates 50x for 15 "
+            "minutes mid-run while four fresh nodes join; end-to-end "
+            "freshness degrades gracefully, polling load does not."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        events=(
+            NetworkDegradation(
+                at=1200.0, duration=900.0, latency_factor=50.0
+            ),
+            NodeJoin(at=1500.0, count=4),
+        ),
+    )
+)
+
+#: Names guaranteed registered, in narrative order (docs/tests).
+BUILTIN_NAMES = (
+    "steady-state",
+    "flash-crowd",
+    "heavy-churn",
+    "churn-resilience",
+    "zipf-skew-sweep",
+    "burst-publish",
+    "degraded-overlay",
+)

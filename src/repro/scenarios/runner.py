@@ -1,0 +1,423 @@
+"""Compile a :class:`ScenarioSpec` onto the event engine and run it.
+
+The runner is the execution half of the scenario subsystem: it builds
+the workload trace, the synthetic web-server farm and a
+:class:`~repro.core.system.CoronaSystem`, schedules the protocol loops
+(polls every ``poll_tick``, maintenance every maintenance interval)
+and the spec's injected timeline on one
+:class:`~repro.simulation.engine.EventEngine`, then collates a
+:class:`ScenarioMetrics`.
+
+Everything is seeded from one integer, so a scenario replay is
+bit-for-bit deterministic: same spec + same seed ⇒ same metrics (the
+CLI acceptance test and the example-parity tests rely on this).
+
+The runner deliberately keeps its own execution loop rather than
+wrapping :class:`~repro.simulation.deployment.DeploymentSimulator`:
+the two differ in workload semantics (instant subscription for
+window-less specs vs a mandatory timed trace), in what the timeline
+may touch (the farm and latency model, not just the system), and in
+collation (churn/registry accounting vs the paper's Figure 9/10
+series).  They share the primitives — :meth:`EventEngine
+.schedule_every`, :class:`TimeSeries`, the system's churn entry
+points — which is the intended seam.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.system import CoronaSystem
+from repro.scenarios.spec import (
+    ChurnWave,
+    FlashCrowd,
+    NetworkDegradation,
+    NodeCrash,
+    NodeJoin,
+    ScenarioSpec,
+    UpdateBurst,
+)
+from repro.simulation.engine import EventEngine
+from repro.simulation.latency import LatencyModel
+from repro.simulation.metrics import TimeSeries
+from repro.simulation.webserver import WebServerFarm
+from repro.workload.trace import generate_trace
+
+
+@dataclass
+class ScenarioMetrics:
+    """Unified output of one scenario run (one variant).
+
+    Scalars summarize the run; the three parallel lists are the
+    bucketed load and detection series every scenario emits, whatever
+    its timeline.  ``to_dict`` is JSON-safe and key-sorted rendering
+    is deterministic under a fixed seed.
+    """
+
+    scenario: str
+    variant: str
+    seed: int
+    horizon: float
+    n_nodes_initial: int
+    n_nodes_final: int
+    n_channels: int
+    total_subscriptions: int
+    #: Subscriptions still registered on channel managers at the end
+    #: of the run — under churn this equals ``total_subscriptions``
+    #: only if §3.3 ownership transfer preserved every registry.
+    final_registered_subscriptions: int
+    injected_events: int
+    polls: int
+    server_polls: int
+    updates_published: int
+    detections: int
+    maintenance_messages: int
+    diff_messages: int
+    joins: int
+    crashes: int
+    rehomed_channels: int
+    mean_detection_delay: float
+    legacy_detection_delay: float
+    mean_polls_per_min: float
+    legacy_polls_per_min: float
+    max_channel_server_polls: int
+    bucket_times: list[float] = field(default_factory=list)
+    polls_per_min: list[float] = field(default_factory=list)
+    detection_bucket_times: list[float] = field(default_factory=list)
+    detection_delays: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict (NaN becomes ``None``)."""
+        def scrub(value):
+            if isinstance(value, float) and math.isnan(value):
+                return None
+            return value
+
+        return {
+            "scenario": self.scenario,
+            "variant": self.variant,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "n_nodes_initial": self.n_nodes_initial,
+            "n_nodes_final": self.n_nodes_final,
+            "n_channels": self.n_channels,
+            "total_subscriptions": self.total_subscriptions,
+            "final_registered_subscriptions": (
+                self.final_registered_subscriptions
+            ),
+            "injected_events": self.injected_events,
+            "polls": self.polls,
+            "server_polls": self.server_polls,
+            "updates_published": self.updates_published,
+            "detections": self.detections,
+            "maintenance_messages": self.maintenance_messages,
+            "diff_messages": self.diff_messages,
+            "joins": self.joins,
+            "crashes": self.crashes,
+            "rehomed_channels": self.rehomed_channels,
+            "mean_detection_delay": scrub(self.mean_detection_delay),
+            "legacy_detection_delay": self.legacy_detection_delay,
+            "mean_polls_per_min": self.mean_polls_per_min,
+            "legacy_polls_per_min": self.legacy_polls_per_min,
+            "max_channel_server_polls": self.max_channel_server_polls,
+            "bucket_times": list(self.bucket_times),
+            "polls_per_min": list(self.polls_per_min),
+            "detection_bucket_times": list(self.detection_bucket_times),
+            "detection_delays": [scrub(v) for v in self.detection_delays],
+        }
+
+    def summary(self) -> str:
+        """A deterministic human-readable digest for the CLI."""
+        delay = (
+            f"{self.mean_detection_delay:.1f}s"
+            if not math.isnan(self.mean_detection_delay)
+            else "n/a"
+        )
+        lines = [
+            f"scenario {self.scenario}"
+            + (f" [{self.variant}]" if self.variant != "base" else "")
+            + f"  (seed {self.seed}, horizon {self.horizon / 60:.0f}min)",
+            f"  population : {self.n_nodes_initial} -> "
+            f"{self.n_nodes_final} nodes  "
+            f"(joins {self.joins}, crashes {self.crashes}, "
+            f"re-homed channels {self.rehomed_channels})",
+            f"  workload   : {self.n_channels} channels, "
+            f"{self.total_subscriptions} subscriptions "
+            f"({self.final_registered_subscriptions} registered at end), "
+            f"{self.updates_published} updates published, "
+            f"{self.injected_events} injected events",
+            f"  load       : {self.polls} corona polls "
+            f"({self.mean_polls_per_min:.1f}/min vs legacy "
+            f"{self.legacy_polls_per_min:.1f}/min), "
+            f"hottest server {self.max_channel_server_polls} polls",
+            f"  freshness  : {self.detections} detections, "
+            f"mean delay {delay} "
+            f"(legacy tau/2 = {self.legacy_detection_delay:.0f}s)",
+            f"  messages   : {self.maintenance_messages} maintenance, "
+            f"{self.diff_messages} diff",
+        ]
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Execute one spec (and its variants) deterministically."""
+
+    def __init__(self, spec: ScenarioSpec, seed: int = 0) -> None:
+        spec.validate()
+        self.spec = spec
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(self, variant: str | None = None) -> ScenarioMetrics:
+        """Run the base spec, or one named variant."""
+        spec = self.spec
+        label = "base"
+        if variant is not None:
+            spec = self.spec.variant_spec(variant)
+            label = variant
+        return _execute(spec, label, self.seed)
+
+    def run_all(self) -> dict[str, ScenarioMetrics]:
+        """Every variant (or just the base spec), label → metrics."""
+        labels = self.spec.variant_labels()
+        if not labels:
+            return {"base": self.run()}
+        return {label: self.run(label) for label in labels}
+
+
+# ----------------------------------------------------------------------
+def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
+    config = spec.corona_config()
+    workload = spec.workload
+    trace = generate_trace(
+        n_channels=workload.n_channels,
+        n_subscriptions=workload.n_subscriptions,
+        zipf_exponent=workload.zipf_exponent,
+        seed=seed,
+        url_prefix=workload.url_prefix,
+        subscription_window=workload.subscription_window,
+        update_interval_scale=workload.update_interval_scale,
+        content_size_scale=workload.content_size_scale,
+        arrival=workload.arrival,
+    )
+    farm = WebServerFarm(seed=seed + 1)
+    for index, url in enumerate(trace.urls):
+        farm.host(
+            url,
+            update_interval=float(trace.update_intervals[index]),
+            target_bytes=int(trace.content_sizes[index]),
+        )
+    system = CoronaSystem(
+        n_nodes=spec.n_nodes, config=config, fetcher=farm, seed=seed
+    )
+    engine = EventEngine()
+    latency = LatencyModel(seed=seed + 2)
+    churn_rng = random.Random(seed + 3)
+    crowd_rng = random.Random(seed + 4)
+
+    poll_series = TimeSeries(spec.bucket_width)
+    detect_series = TimeSeries(spec.bucket_width)
+    detections = 0
+
+    # -- subscriptions -------------------------------------------------
+    if trace.events:
+        for when, client, channel_index, subscribe in trace.events:
+            url = trace.urls[channel_index]
+            if subscribe:
+                engine.schedule(
+                    when,
+                    lambda now, u=url, c=client: system.subscribe(u, c, now),
+                )
+            else:
+                engine.schedule(
+                    when,
+                    lambda now, u=url, c=client: system.unsubscribe(u, c),
+                )
+    else:
+        client = 0
+        for channel_index, count in enumerate(trace.subscribers):
+            url = trace.urls[channel_index]
+            for _ in range(int(count)):
+                system.subscribe(url, f"client-{client}", now=0.0)
+                client += 1
+
+    # -- injected timeline ---------------------------------------------
+    injected = 0
+    extra_subscriptions = 0
+    for event in spec.events:
+        injected += 1
+        if isinstance(event, NodeJoin):
+            engine.schedule(
+                event.at,
+                lambda now, ev=event: system.join_nodes(ev.count, now=now),
+            )
+        elif isinstance(event, NodeCrash):
+            engine.schedule(
+                event.at,
+                lambda now, ev=event: system.crash_nodes(
+                    ev.count, now=now, rng=churn_rng, target=ev.target
+                ),
+            )
+        elif isinstance(event, FlashCrowd):
+            url = trace.urls[event.channel]
+            offsets = sorted(
+                crowd_rng.uniform(0.0, event.window)
+                for _ in range(event.subscribers)
+            )
+            # Arrivals past the horizon never execute; only the ones
+            # that land count toward the reported subscription load.
+            arrivals = [
+                offset for offset in offsets
+                if event.at + offset <= spec.horizon
+            ]
+            for rank, offset in enumerate(arrivals):
+                name = f"crowd-{event.channel}-{extra_subscriptions + rank}"
+                engine.schedule(
+                    event.at + offset,
+                    lambda now, u=url, c=name: system.subscribe(u, c, now),
+                )
+            extra_subscriptions += len(arrivals)
+            if event.update_factor != 1.0:
+                # Relative acceleration (flash_crowd compounds), like
+                # UpdateBurst below, so rate events compose in any
+                # order; a crowd's speed-up is sticky for the run.
+                engine.schedule(
+                    event.at,
+                    lambda now, u=url, ev=event: farm.flash_crowd(
+                        u, ev.update_factor, now
+                    ),
+                )
+        elif isinstance(event, UpdateBurst):
+            hot = max(
+                1, int(round(event.channel_fraction * trace.n_channels))
+            )
+            urls = trace.urls[:hot]
+
+            # Bursts accelerate relatively and undo themselves by the
+            # inverse factor, so a concurrent FlashCrowd's sticky
+            # update_factor on the same channel survives the burst's
+            # end whichever event fires first.
+            def start_burst(now: float, us=urls, ev=event) -> None:
+                for u in us:
+                    farm.flash_crowd(u, ev.factor, now)
+
+            def end_burst(now: float, us=urls, ev=event) -> None:
+                for u in us:
+                    farm.flash_crowd(u, 1.0 / ev.factor, now)
+
+            engine.schedule(event.at, start_burst)
+            engine.schedule(
+                min(event.at + event.duration, spec.horizon), end_burst
+            )
+        elif isinstance(event, NetworkDegradation):
+            # Degradations compose multiplicatively and undo by the
+            # inverse, so overlapping events do not cancel each other
+            # (restore() would zero out a still-active degradation).
+            engine.schedule(
+                event.at,
+                lambda now, ev=event: latency.degrade(ev.latency_factor),
+            )
+            engine.schedule(
+                min(event.at + event.duration, spec.horizon),
+                lambda now, ev=event: latency.degrade(
+                    1.0 / ev.latency_factor
+                ),
+            )
+        elif isinstance(event, ChurnWave):
+
+            def churn_tick(now: float, ev=event) -> None:
+                if ev.crashes_per_tick and len(system.nodes) > 1:
+                    system.crash_nodes(
+                        ev.crashes_per_tick, now=now, rng=churn_rng
+                    )
+                if ev.joins_per_tick:
+                    system.join_nodes(ev.joins_per_tick, now=now)
+
+            engine.schedule_every(
+                event.at,
+                event.interval,
+                churn_tick,
+                until=min(event.at + event.duration, spec.horizon),
+            )
+        else:  # pragma: no cover - spec.validate() forbids this
+            raise TypeError(f"unhandled event type {type(event)!r}")
+
+    # -- protocol loops ------------------------------------------------
+    maintenance = config.maintenance_interval
+
+    engine.schedule_every(
+        maintenance * 0.5,
+        maintenance,
+        lambda now: system.run_maintenance_round(now),
+        until=spec.horizon,
+    )
+
+    def poll_round(now: float) -> None:
+        nonlocal detections
+        farm.advance_to(now)
+        polls_before = system.counters.polls
+        events = system.poll_due(now)
+        polls_done = system.counters.polls - polls_before
+        if polls_done:
+            poll_series.add(now, float(polls_done))
+        for event in events:
+            if event.published_at is None:
+                continue
+            delay = max(0.0, event.detected_at - event.published_at)
+            delay += latency.sample()
+            detect_series.add(now, delay)
+            detections += 1
+
+    engine.schedule_every(
+        spec.poll_tick, spec.poll_tick, poll_round, until=spec.horizon
+    )
+    engine.run_until(spec.horizon)
+
+    # -- collate -------------------------------------------------------
+    tau = config.polling_interval
+    total_subscriptions = trace.total_subscriptions + extra_subscriptions
+    registered = sum(
+        system.nodes[manager].registry.count(url)
+        for url, manager in system.managers.items()
+    )
+    delays = detect_series.means()
+    mean_delay = float(np.nanmean(delays)) if len(delays) else float("nan")
+    minutes = spec.horizon / 60.0
+    poll_counts = farm.poll_counts()
+    return ScenarioMetrics(
+        scenario=spec.name,
+        variant=label,
+        seed=seed,
+        horizon=spec.horizon,
+        n_nodes_initial=spec.n_nodes,
+        n_nodes_final=len(system.nodes),
+        n_channels=trace.n_channels,
+        total_subscriptions=total_subscriptions,
+        final_registered_subscriptions=registered,
+        injected_events=injected,
+        polls=system.counters.polls,
+        server_polls=farm.total_polls,
+        updates_published=farm.total_updates,
+        detections=detections,
+        maintenance_messages=system.counters.maintenance_messages,
+        diff_messages=system.counters.diff_messages,
+        joins=system.counters.joins,
+        crashes=system.counters.crashes,
+        rehomed_channels=system.counters.rehomed_channels,
+        mean_detection_delay=mean_delay,
+        legacy_detection_delay=tau / 2.0,
+        mean_polls_per_min=system.counters.polls / minutes,
+        legacy_polls_per_min=total_subscriptions / tau * 60.0,
+        max_channel_server_polls=max(poll_counts.values(), default=0),
+        bucket_times=[float(t) for t in poll_series.times()],
+        polls_per_min=[
+            float(v) for v in poll_series.sums() / (spec.bucket_width / 60.0)
+        ],
+        detection_bucket_times=[float(t) for t in detect_series.times()],
+        detection_delays=[float(v) for v in delays],
+    )

@@ -1,0 +1,484 @@
+"""Declarative scenario specifications.
+
+A scenario is data, not code: plain dataclasses (loadable from plain
+dicts, hence from JSON) describing
+
+* the **population** — overlay size and the
+  :class:`~repro.core.config.CoronaConfig` knobs;
+* the **workload** — channel count, Zipf skew, subscription volume and
+  arrival shape, update-interval compression
+  (:class:`WorkloadSpec`);
+* the **timeline** — injected events: node churn
+  (:class:`NodeJoin`, :class:`NodeCrash`, :class:`ChurnWave`), flash
+  crowds (:class:`FlashCrowd`), publish-rate bursts
+  (:class:`UpdateBurst`) and wide-area degradation
+  (:class:`NetworkDegradation`);
+* optional **variants** — named field overrides for parameter sweeps
+  (the zipf-skew-sweep scenario runs one variant per exponent).
+
+Validation is eager and loud: :meth:`ScenarioSpec.validate` (called by
+the runner and by :func:`ScenarioSpec.from_dict`) raises
+:class:`ScenarioSpecError` naming the offending field, so a malformed
+scenario dies before any simulation time is spent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Union
+
+from repro.core.config import CoronaConfig
+
+
+class ScenarioSpecError(ValueError):
+    """A scenario spec failed validation (bad field, unknown key...)."""
+
+
+# ----------------------------------------------------------------------
+# workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The channel/subscription mix one scenario exercises.
+
+    ``update_interval_scale`` compresses the survey-drawn update
+    intervals so hours of feed behaviour fit in minutes of simulated
+    time; ``content_size_scale`` shrinks the survey-drawn documents
+    (the full-protocol diff path costs proportionally to feed bytes,
+    so the default keeps scenarios CI-fast); ``arrival`` shapes
+    subscription times inside ``subscription_window`` (see
+    :func:`repro.workload.trace.generate_trace`).
+    """
+
+    n_channels: int = 40
+    n_subscriptions: int = 800
+    zipf_exponent: float = 0.5
+    subscription_window: float = 0.0
+    arrival: str = "uniform"
+    update_interval_scale: float = 0.05
+    content_size_scale: float = 0.2
+    url_prefix: str = "http://feeds.example.org/channel"
+
+    def validate(self) -> None:
+        if self.n_channels < 1:
+            raise ScenarioSpecError("workload.n_channels must be >= 1")
+        if self.n_subscriptions < 0:
+            raise ScenarioSpecError(
+                "workload.n_subscriptions cannot be negative"
+            )
+        if self.zipf_exponent < 0:
+            raise ScenarioSpecError(
+                "workload.zipf_exponent cannot be negative"
+            )
+        if self.subscription_window < 0:
+            raise ScenarioSpecError(
+                "workload.subscription_window cannot be negative"
+            )
+        if self.arrival not in ("uniform", "burst", "ramp"):
+            raise ScenarioSpecError(
+                "workload.arrival must be 'uniform', 'burst' or 'ramp'"
+            )
+        if self.update_interval_scale <= 0:
+            raise ScenarioSpecError(
+                "workload.update_interval_scale must be positive"
+            )
+        if self.content_size_scale <= 0:
+            raise ScenarioSpecError(
+                "workload.content_size_scale must be positive"
+            )
+
+
+# ----------------------------------------------------------------------
+# timeline events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeJoin:
+    """``count`` fresh nodes join the overlay at time ``at``."""
+
+    kind: ClassVar[str] = "node-join"
+
+    at: float
+    count: int = 1
+
+    def validate(self) -> None:
+        if self.count < 1:
+            raise ScenarioSpecError("node-join count must be >= 1")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """``count`` nodes fail at ``at``; ``target`` picks the pool.
+
+    ``target`` is ``"any"``, ``"managers"`` (channel owners — the
+    worst case for §3.3 state transfer) or ``"bystanders"``.
+    """
+
+    kind: ClassVar[str] = "node-crash"
+
+    at: float
+    count: int = 1
+    target: str = "any"
+
+    def validate(self) -> None:
+        if self.count < 1:
+            raise ScenarioSpecError("node-crash count must be >= 1")
+        if self.target not in ("any", "managers", "bystanders"):
+            raise ScenarioSpecError(
+                "node-crash target must be 'any', 'managers' or 'bystanders'"
+            )
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A subscription spike on one channel (§3.1's server shield).
+
+    ``subscribers`` new clients subscribe to channel rank ``channel``
+    over ``window`` seconds starting at ``at``; ``update_factor`` > 1
+    additionally accelerates the channel's publish rate (breaking
+    news updates faster *and* draws a crowd).
+    """
+
+    kind: ClassVar[str] = "flash-crowd"
+
+    at: float
+    channel: int = 0
+    subscribers: int = 100
+    window: float = 60.0
+    update_factor: float = 1.0
+
+    def validate(self) -> None:
+        if self.channel < 0:
+            raise ScenarioSpecError("flash-crowd channel rank must be >= 0")
+        if self.subscribers < 1:
+            raise ScenarioSpecError("flash-crowd subscribers must be >= 1")
+        if self.window < 0:
+            raise ScenarioSpecError("flash-crowd window cannot be negative")
+        if self.update_factor <= 0:
+            raise ScenarioSpecError(
+                "flash-crowd update_factor must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class UpdateBurst:
+    """The most popular channels publish ``factor``× faster for a while.
+
+    Applies to the top ``channel_fraction`` of channels by rank from
+    ``at`` until ``at + duration``, then restores normal service.
+    """
+
+    kind: ClassVar[str] = "update-burst"
+
+    at: float
+    duration: float = 300.0
+    factor: float = 8.0
+    channel_fraction: float = 0.25
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ScenarioSpecError("update-burst duration must be positive")
+        if self.factor <= 0:
+            raise ScenarioSpecError("update-burst factor must be positive")
+        if not 0 < self.channel_fraction <= 1:
+            raise ScenarioSpecError(
+                "update-burst channel_fraction must be in (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class NetworkDegradation:
+    """Wide-area latency inflates ``latency_factor``× for a while."""
+
+    kind: ClassVar[str] = "network-degradation"
+
+    at: float
+    duration: float = 300.0
+    latency_factor: float = 10.0
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ScenarioSpecError(
+                "network-degradation duration must be positive"
+            )
+        if self.latency_factor <= 0:
+            raise ScenarioSpecError(
+                "network-degradation latency_factor must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnWave:
+    """Sustained churn: crashes and joins every ``interval`` seconds.
+
+    From ``at`` until ``at + duration``, every tick fails
+    ``crashes_per_tick`` random nodes and joins ``joins_per_tick``
+    fresh ones — the membership treadmill structured overlays must
+    absorb.
+    """
+
+    kind: ClassVar[str] = "churn-wave"
+
+    at: float
+    duration: float = 600.0
+    interval: float = 60.0
+    crashes_per_tick: int = 1
+    joins_per_tick: int = 1
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ScenarioSpecError("churn-wave duration must be positive")
+        if self.interval <= 0:
+            raise ScenarioSpecError("churn-wave interval must be positive")
+        if self.crashes_per_tick < 0 or self.joins_per_tick < 0:
+            raise ScenarioSpecError("churn-wave rates cannot be negative")
+        if self.crashes_per_tick == 0 and self.joins_per_tick == 0:
+            raise ScenarioSpecError("churn-wave must crash or join nodes")
+
+
+ScenarioEvent = Union[
+    NodeJoin, NodeCrash, FlashCrowd, UpdateBurst, NetworkDegradation,
+    ChurnWave,
+]
+
+#: kind-string → event class, for the plain-dict loader.
+EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        NodeJoin, NodeCrash, FlashCrowd, UpdateBurst, NetworkDegradation,
+        ChurnWave,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+
+#: CoronaConfig knobs a scenario uses unless overridden: short
+#: intervals and a small overlay base so minutes of simulated time
+#: exercise multiple polling/maintenance rounds.
+DEFAULT_CONFIG: dict[str, Any] = {
+    "polling_interval": 300.0,
+    "maintenance_interval": 600.0,
+    "base": 4,
+    "scheme": "lite",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment (see module docstring)."""
+
+    name: str
+    description: str = ""
+    n_nodes: int = 32
+    horizon: float = 3600.0
+    poll_tick: float = 30.0
+    bucket_width: float = 600.0
+    config: Mapping[str, Any] = field(default_factory=dict)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    events: tuple[ScenarioEvent, ...] = ()
+    variants: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def corona_config(self) -> CoronaConfig:
+        """The resolved :class:`CoronaConfig` (defaults + overrides)."""
+        if not isinstance(self.config, Mapping):
+            raise ScenarioSpecError(
+                "'config' must be a mapping of CoronaConfig fields"
+            )
+        merged = {**DEFAULT_CONFIG, **dict(self.config)}
+        known = {f.name for f in dataclasses.fields(CoronaConfig)}
+        unknown = sorted(set(merged) - known)
+        if unknown:
+            raise ScenarioSpecError(
+                f"unknown CoronaConfig field(s) in config: {unknown}"
+            )
+        try:
+            return CoronaConfig(**merged)
+        except ValueError as error:
+            raise ScenarioSpecError(f"invalid config: {error}") from error
+
+    def validate(self) -> None:
+        """Raise :class:`ScenarioSpecError` on the first bad field."""
+        if not self.name:
+            raise ScenarioSpecError("scenario needs a name")
+        if self.n_nodes < 2:
+            raise ScenarioSpecError("n_nodes must be >= 2")
+        if self.horizon <= 0:
+            raise ScenarioSpecError("horizon must be positive")
+        if self.poll_tick <= 0:
+            raise ScenarioSpecError("poll_tick must be positive")
+        if self.bucket_width <= 0:
+            raise ScenarioSpecError("bucket_width must be positive")
+        if not isinstance(self.workload, WorkloadSpec):
+            raise ScenarioSpecError(
+                "'workload' must be a WorkloadSpec "
+                "(use ScenarioSpec.from_dict for plain dicts)"
+            )
+        self.workload.validate()
+        self.corona_config()
+        for event in self.events:
+            if not isinstance(event, tuple(EVENT_KINDS.values())):
+                raise ScenarioSpecError(
+                    f"events must be event dataclasses, got {event!r} "
+                    "(use ScenarioSpec.from_dict for plain dicts)"
+                )
+            event.validate()
+            if not 0 <= event.at <= self.horizon:
+                raise ScenarioSpecError(
+                    f"{event.kind} at t={event.at} outside the horizon "
+                    f"[0, {self.horizon}]"
+                )
+            if (
+                isinstance(event, FlashCrowd)
+                and event.channel >= self.workload.n_channels
+            ):
+                raise ScenarioSpecError(
+                    f"flash-crowd channel rank {event.channel} out of "
+                    f"range (workload has {self.workload.n_channels} "
+                    "channels)"
+                )
+        total_crashes = sum(
+            event.count for event in self.events
+            if isinstance(event, NodeCrash)
+        )
+        if total_crashes >= self.n_nodes:
+            raise ScenarioSpecError(
+                f"timeline crashes {total_crashes} of {self.n_nodes} "
+                "nodes; at least one must survive"
+            )
+        for label, overrides in self.variants.items():
+            if not isinstance(overrides, Mapping):
+                raise ScenarioSpecError(
+                    f"variant {label!r} overrides must be a mapping"
+                )
+            self.variant_spec(label).validate()
+
+    # ------------------------------------------------------------------
+    def variant_spec(self, label: str) -> "ScenarioSpec":
+        """The spec with variant ``label``'s overrides applied."""
+        if label not in self.variants:
+            raise ScenarioSpecError(
+                f"unknown variant {label!r}; scenario {self.name!r} "
+                f"defines {sorted(self.variants)}"
+            )
+        overrides = dict(self.variants[label])
+        workload_overrides = overrides.pop("workload", {})
+        config_overrides = overrides.pop("config", {})
+        if "variants" in overrides or "name" in overrides:
+            raise ScenarioSpecError(
+                "variants cannot override 'name' or nest 'variants'"
+            )
+        if not isinstance(config_overrides, Mapping):
+            raise ScenarioSpecError(
+                f"variant {label!r} 'config' must be a mapping"
+            )
+        spec = _replace_checked(self, overrides, context=f"variant {label!r}")
+        if config_overrides:
+            # merged key-by-key: a scheme sweep must not reset the
+            # base spec's other CoronaConfig customizations
+            spec = dataclasses.replace(
+                spec, config={**dict(self.config), **dict(config_overrides)}
+            )
+        if workload_overrides:
+            workload = _replace_checked(
+                spec.workload,
+                dict(workload_overrides),
+                context=f"variant {label!r} workload",
+            )
+            spec = dataclasses.replace(spec, workload=workload)
+        return dataclasses.replace(spec, variants={})
+
+    def variant_labels(self) -> list[str]:
+        """Variant names in definition order (empty for plain specs)."""
+        return list(self.variants)
+
+    # ------------------------------------------------------------------
+    # plain-dict round trip
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build and validate a spec from a plain (JSON-shaped) dict."""
+        if not isinstance(data, Mapping):
+            raise ScenarioSpecError("scenario spec must be a mapping")
+        payload = dict(data)
+        workload_data = payload.pop("workload", {})
+        events_data = payload.pop("events", [])
+        if not isinstance(workload_data, Mapping):
+            raise ScenarioSpecError("'workload' must be a mapping")
+        if isinstance(events_data, (str, bytes)) or not hasattr(
+            events_data, "__iter__"
+        ):
+            raise ScenarioSpecError("'events' must be a list of mappings")
+        workload = _build_checked(
+            WorkloadSpec, dict(workload_data), context="workload"
+        )
+        events = tuple(_event_from_dict(entry) for entry in events_data)
+        spec = _build_checked(
+            cls,
+            {**payload, "workload": workload, "events": events},
+            context="scenario",
+        )
+        spec.validate()
+        return spec
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-shaped plain-dict form (``from_dict`` round-trips)."""
+        events = []
+        for event in self.events:
+            entry = dataclasses.asdict(event)
+            entry["kind"] = event.kind
+            events.append(entry)
+        return {
+            "name": self.name,
+            "description": self.description,
+            "n_nodes": self.n_nodes,
+            "horizon": self.horizon,
+            "poll_tick": self.poll_tick,
+            "bucket_width": self.bucket_width,
+            "config": dict(self.config),
+            "workload": dataclasses.asdict(self.workload),
+            "events": events,
+            "variants": {
+                label: dict(overrides)
+                for label, overrides in self.variants.items()
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+def _event_from_dict(entry: Any) -> ScenarioEvent:
+    if not isinstance(entry, Mapping):
+        raise ScenarioSpecError("each event must be a mapping with a 'kind'")
+    payload = dict(entry)
+    kind = payload.pop("kind", None)
+    if kind not in EVENT_KINDS:
+        raise ScenarioSpecError(
+            f"unknown event kind {kind!r}; known kinds: "
+            f"{sorted(EVENT_KINDS)}"
+        )
+    return _build_checked(EVENT_KINDS[kind], payload, context=f"event {kind}")
+
+
+def _field_names(cls: type) -> set[str]:
+    return {f.name for f in dataclasses.fields(cls)}
+
+
+def _build_checked(cls: type, payload: dict[str, Any], context: str):
+    unknown = sorted(set(payload) - _field_names(cls))
+    if unknown:
+        raise ScenarioSpecError(f"unknown {context} field(s): {unknown}")
+    try:
+        return cls(**payload)
+    except TypeError as error:
+        raise ScenarioSpecError(f"bad {context}: {error}") from error
+
+
+def _replace_checked(instance, overrides: dict[str, Any], context: str):
+    unknown = sorted(set(overrides) - _field_names(type(instance)))
+    if unknown:
+        raise ScenarioSpecError(f"unknown {context} field(s): {unknown}")
+    return dataclasses.replace(instance, **overrides)

@@ -18,6 +18,7 @@ is protocol behaviour, which runs unmodified.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,6 +61,10 @@ class DeploymentSimulator:
         horizon: float = 6 * 3600.0,
         bucket_width: float = 600.0,
         poll_tick: float = 30.0,
+        latency: LatencyModel | None = None,
+        injections: Iterable[
+            tuple[float, Callable[[CoronaSystem, float], None]]
+        ] = (),
     ) -> None:
         if not trace.events:
             raise ValueError(
@@ -72,7 +77,8 @@ class DeploymentSimulator:
         self.bucket_width = bucket_width
         self.poll_tick = poll_tick
         self.engine = EventEngine()
-        self.latency = LatencyModel(seed=seed)
+        self.latency = latency if latency is not None else LatencyModel(seed=seed)
+        self.injections = list(injections)
         self.farm = WebServerFarm(seed=seed + 1)
         for index, url in enumerate(trace.urls):
             self.farm.host(
@@ -108,14 +114,22 @@ class DeploymentSimulator:
                     lambda now, u=url, c=client: self.system.unsubscribe(u, c),
                 )
 
+        # Fault/behaviour injections run as first-class timed events
+        # against the live system (churn, degradation, ...).
+        for when, inject in self.injections:
+            engine.schedule(
+                when, lambda now, fn=inject: fn(self.system, now)
+            )
+
         maintenance = self.config.maintenance_interval
 
         def run_maintenance(now: float) -> None:
             self.system.run_maintenance_round(now)
-            if now + maintenance <= self.horizon:
-                engine.schedule(now + maintenance, run_maintenance)
 
-        engine.schedule(maintenance * 0.5, run_maintenance)
+        engine.schedule_every(
+            maintenance * 0.5, maintenance, run_maintenance,
+            until=self.horizon,
+        )
 
         def poll_round(now: float) -> None:
             self.farm.advance_to(now)
@@ -133,10 +147,10 @@ class DeploymentSimulator:
                 delay += self.latency.sample()
                 self.detect_series.add(now, delay)
                 self._detections += 1
-            if now + self.poll_tick <= self.horizon:
-                engine.schedule(now + self.poll_tick, poll_round)
 
-        engine.schedule(self.poll_tick, poll_round)
+        engine.schedule_every(
+            self.poll_tick, self.poll_tick, poll_round, until=self.horizon
+        )
         engine.run_until(self.horizon)
         return self._collate()
 

@@ -40,6 +40,26 @@ class EventHandle:
         return self._event.time
 
 
+class RepeatingHandle:
+    """Returned by :meth:`EventEngine.schedule_every`.
+
+    Cancelling stops the series: the pending occurrence is cancelled
+    and no further ones are scheduled.
+    """
+
+    __slots__ = ("_next", "cancelled")
+
+    def __init__(self) -> None:
+        self._next: EventHandle | None = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Stop the repeating series (idempotent)."""
+        self.cancelled = True
+        if self._next is not None:
+            self._next.cancel()
+
+
 class EventEngine:
     """Time-ordered execution of scheduled callbacks."""
 
@@ -74,6 +94,38 @@ class EventEngine:
         if delay < 0:
             raise ValueError("delay cannot be negative")
         return self.schedule(self.now + delay, callback)
+
+    def schedule_every(
+        self,
+        start: float,
+        interval: float,
+        callback: Callable[[float], None],
+        until: float | None = None,
+    ) -> "RepeatingHandle":
+        """Fire ``callback`` at ``start`` and every ``interval`` after.
+
+        Each occurrence runs the callback first and then schedules the
+        next one (so a callback that cancels the handle stops the
+        series).  ``until`` bounds the last occurrence (inclusive);
+        ``None`` repeats forever — pair with :meth:`run_until`.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        handle = RepeatingHandle()
+        if until is not None and start > until:
+            return handle  # nothing to do: the bound excludes even start
+
+        def fire(now: float) -> None:
+            callback(now)
+            next_time = now + interval
+            if handle.cancelled:
+                return
+            if until is not None and next_time > until:
+                return
+            handle._next = self.schedule(next_time, fire)
+
+        handle._next = self.schedule(start, fire)
+        return handle
 
     # ------------------------------------------------------------------
     def run_until(self, horizon: float) -> int:

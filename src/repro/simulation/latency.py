@@ -29,19 +29,36 @@ class LatencyModel:
     median: float = 0.08  # PlanetLab-like one-way median
     sigma: float = 0.6  # log-normal shape (heavy tail)
     seed: int = 0
+    #: Multiplier applied to every sample — fault injection dials this
+    #: up to model wide-area congestion/degradation, then restores it.
+    scale: float = 1.0
     rng: random.Random = field(init=False)
 
     def __post_init__(self) -> None:
         if self.floor < 0 or self.median <= self.floor:
             raise ValueError("need 0 <= floor < median")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
         self.rng = random.Random(self.seed)
         import math
 
         self._mu = math.log(self.median - self.floor)
 
+    def degrade(self, factor: float) -> None:
+        """Multiply all subsequent delays by ``factor`` (composable)."""
+        if factor <= 0:
+            raise ValueError("degradation factor must be positive")
+        self.scale *= factor
+
+    def restore(self) -> None:
+        """Reset the degradation multiplier to 1."""
+        self.scale = 1.0
+
     def sample(self) -> float:
         """One message delay in seconds."""
-        return self.floor + self.rng.lognormvariate(self._mu, self.sigma)
+        return self.scale * (
+            self.floor + self.rng.lognormvariate(self._mu, self.sigma)
+        )
 
     def sample_path(self, hops: int) -> float:
         """Total delay across ``hops`` sequential overlay hops."""

@@ -175,8 +175,11 @@ class WebServerFarm:
     def flash_crowd(self, url: str, factor: float, now: float) -> None:
         """Accelerate a channel's update process (breaking-news burst).
 
-        Used by the flash-crowd example: the channel's interval shrinks
-        by ``factor`` from ``now`` on.
+        The channel's interval shrinks by ``factor`` from ``now`` on.
+        Factors compound, and a factor below 1 decelerates — the
+        scenario subsystem undoes a timed burst by applying the
+        inverse factor, so overlapping rate events compose in any
+        order.
         """
         hosted = self.channels.get(url)
         if hosted is None:

@@ -66,6 +66,9 @@ def generate_trace(
     url_prefix: str = "http://feeds.example.org/channel",
     subscription_window: float = 0.0,
     exact_popularity: bool = False,
+    update_interval_scale: float = 1.0,
+    content_size_scale: float = 1.0,
+    arrival: str = "uniform",
 ) -> SubscriptionTrace:
     """Generate a survey-parameterized workload.
 
@@ -74,11 +77,27 @@ def generate_trace(
     (``subscription_window=0``); the deployment uses 3 000 channels /
     30 000 subscriptions spread uniformly over the first hour
     (``subscription_window=3600``).
+
+    ``update_interval_scale`` rescales the survey-drawn update
+    intervals (scenarios use <1 to compress hours of feed behaviour
+    into minutes of simulated time); ``content_size_scale`` rescales
+    the survey-drawn document sizes (smaller feeds make the
+    full-protocol diff path proportionally cheaper — scenario CI
+    profiles use <1).  ``arrival`` shapes subscription
+    times inside the window: ``"uniform"`` (the paper's deployment),
+    ``"burst"`` (front-loaded — a flash crowd hitting at once) or
+    ``"ramp"`` (back-loaded — interest building over the window).
     """
     if n_channels < 1:
         raise ValueError("need at least one channel")
     if n_subscriptions < 0:
         raise ValueError("subscription count cannot be negative")
+    if update_interval_scale <= 0:
+        raise ValueError("update_interval_scale must be positive")
+    if content_size_scale <= 0:
+        raise ValueError("content_size_scale must be positive")
+    if arrival not in ("uniform", "burst", "ramp"):
+        raise ValueError("arrival must be 'uniform', 'burst' or 'ramp'")
     rng = np.random.default_rng(seed)
     survey = SurveyDistributions(seed=seed + 1)
 
@@ -93,11 +112,29 @@ def generate_trace(
     trace = SubscriptionTrace(
         urls=urls,
         subscribers=subscribers,
-        update_intervals=survey.update_intervals(n_channels),
-        content_sizes=survey.content_sizes(n_channels),
+        update_intervals=survey.update_intervals(n_channels)
+        * update_interval_scale,
+        content_sizes=np.maximum(
+            1.0, survey.content_sizes(n_channels) * content_size_scale
+        ),
     )
     if subscription_window > 0:
-        times = np.sort(rng.uniform(0.0, subscription_window, trace.total_subscriptions))
+        quantiles = rng.uniform(0.0, 1.0, trace.total_subscriptions)
+        if arrival == "burst":
+            # i.i.d. shaped draws, deliberately *unsorted*: times are
+            # assigned to subscriptions in channel-rank order below, so
+            # sorting would hand popular channels the early slice and
+            # invert the shape for unpopular ones.
+            times = subscription_window * quantiles**2  # mass early
+        elif arrival == "ramp":
+            times = subscription_window * quantiles**0.5  # mass late
+        else:
+            # Sorted uniform, kept bit-compatible with the seed
+            # experiments.  Note the contiguous assignment below then
+            # gives popular channels the earlier arrivals; the overall
+            # arrival process (what the deployment experiment
+            # measures) is unaffected.
+            times = np.sort(subscription_window * quantiles)
         events: list[tuple[float, str, int, bool]] = []
         cursor = 0
         for channel_index, count in enumerate(subscribers):

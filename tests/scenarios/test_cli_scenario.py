@@ -1,0 +1,83 @@
+"""CLI smoke tests for ``repro scenario run`` / ``repro scenario list``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.scenarios.builtin import BUILTIN_NAMES
+from repro.scenarios.registry import _REGISTRY, register
+from tests.scenarios.conftest import tiny_spec
+
+
+@pytest.fixture()
+def tiny_registered():
+    """Register a fast scenario for CLI runs; restore the registry."""
+    before = dict(_REGISTRY)
+    register(
+        tiny_spec(
+            name="tiny-smoke",
+            variants={"flat": {"workload": {"zipf_exponent": 0.0}}},
+        )
+    )
+    yield "tiny-smoke"
+    _REGISTRY.clear()
+    _REGISTRY.update(before)
+
+
+class TestParser:
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["scenario", "run", "heavy-churn"])
+        assert args.name == "heavy-churn"
+        assert args.seed == 0
+        assert args.variant is None
+        assert args.json is False
+
+
+class TestList:
+    def test_lists_all_builtins(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_NAMES:
+            assert name in out
+
+
+class TestRun:
+    def test_run_prints_summary(self, tiny_registered, capsys):
+        code = main(
+            ["scenario", "run", tiny_registered, "--seed", "9",
+             "--variant", "flat"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario tiny-smoke [flat]" in out
+        assert "freshness" in out
+
+    def test_run_json_is_parseable(self, tiny_registered, capsys):
+        code = main(
+            ["scenario", "run", tiny_registered, "--seed", "9",
+             "--variant", "flat", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flat"]["scenario"] == "tiny-smoke"
+        assert payload["flat"]["seed"] == 9
+        assert payload["flat"]["polls"] > 0
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["scenario", "run", "no-such-scenario"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no-such-scenario" in err
+        assert "heavy-churn" in err
+
+    def test_unknown_variant_fails_cleanly(self, tiny_registered, capsys):
+        code = main(
+            ["scenario", "run", tiny_registered, "--variant", "nope"]
+        )
+        assert code == 2
+        assert "unknown variant" in capsys.readouterr().err

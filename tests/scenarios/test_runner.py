@@ -1,0 +1,187 @@
+"""Runner semantics: determinism, fault injection, variants, metrics."""
+
+import dataclasses
+import json
+
+from repro.scenarios import (
+    ChurnWave,
+    FlashCrowd,
+    NetworkDegradation,
+    NodeCrash,
+    NodeJoin,
+    ScenarioRunner,
+    UpdateBurst,
+)
+from tests.scenarios.conftest import tiny_spec
+
+
+def run_tiny(seed=3, **overrides):
+    return ScenarioRunner(tiny_spec(**overrides), seed=seed).run()
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self):
+        spec = tiny_spec(
+            events=(
+                NodeCrash(at=300.0, count=1),
+                FlashCrowd(at=400.0, channel=0, subscribers=10),
+            )
+        )
+        first = ScenarioRunner(spec, seed=11).run()
+        second = ScenarioRunner(spec, seed=11).run()
+        assert first.to_dict() == second.to_dict()
+        # bit-identical through JSON rendering too (the CLI contract)
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    def test_different_seed_different_run(self):
+        first = run_tiny(seed=1)
+        second = run_tiny(seed=2)
+        assert first.to_dict() != second.to_dict()
+
+
+class TestBaseline:
+    def test_steady_run_produces_detections(self):
+        metrics = run_tiny()
+        assert metrics.polls > 0
+        assert metrics.detections > 0
+        assert metrics.n_nodes_final == metrics.n_nodes_initial
+        assert metrics.crashes == 0 and metrics.joins == 0
+        assert metrics.scenario == "tiny"
+        assert metrics.variant == "base"
+
+    def test_series_are_paired(self):
+        metrics = run_tiny()
+        assert len(metrics.bucket_times) == len(metrics.polls_per_min)
+        assert len(metrics.detection_bucket_times) == len(
+            metrics.detection_delays
+        )
+
+    def test_to_dict_is_json_safe(self):
+        payload = run_tiny().to_dict()
+        json.dumps(payload)  # must not raise (NaN scrubbed to None)
+
+
+class TestInjection:
+    def test_node_crash_shrinks_population(self):
+        metrics = run_tiny(events=(NodeCrash(at=300.0, count=2),))
+        assert metrics.crashes == 2
+        assert metrics.n_nodes_final == metrics.n_nodes_initial - 2
+
+    def test_crash_preserves_subscription_state(self):
+        metrics = run_tiny(
+            events=(NodeCrash(at=300.0, count=3, target="managers"),)
+        )
+        assert metrics.final_registered_subscriptions == (
+            metrics.total_subscriptions
+        )
+
+    def test_node_join_grows_population(self):
+        metrics = run_tiny(events=(NodeJoin(at=300.0, count=3),))
+        assert metrics.joins == 3
+        assert metrics.n_nodes_final == metrics.n_nodes_initial + 3
+
+    def test_churn_wave_ticks(self):
+        metrics = run_tiny(
+            events=(
+                ChurnWave(
+                    at=300.0,
+                    duration=180.0,
+                    interval=60.0,
+                    crashes_per_tick=1,
+                    joins_per_tick=1,
+                ),
+            )
+        )
+        # ticks at 300, 360, 420, 480 (until = at + duration, inclusive)
+        assert metrics.crashes == 4
+        assert metrics.joins == 4
+        assert metrics.n_nodes_final == metrics.n_nodes_initial
+
+    def test_flash_crowd_adds_subscriptions(self):
+        base = run_tiny()
+        crowd = run_tiny(
+            events=(FlashCrowd(at=300.0, channel=0, subscribers=25),)
+        )
+        assert crowd.total_subscriptions == base.total_subscriptions + 25
+        assert crowd.final_registered_subscriptions == (
+            crowd.total_subscriptions
+        )
+        assert crowd.injected_events == 1
+
+    def test_flash_crowd_past_horizon_not_counted(self):
+        # the crowd window straddles the horizon: arrivals that would
+        # land after the run ends must not inflate the reported load
+        crowd = run_tiny(
+            events=(
+                FlashCrowd(
+                    at=880.0, channel=0, subscribers=40, window=100.0
+                ),
+            )
+        )
+        base = run_tiny()
+        added = crowd.total_subscriptions - base.total_subscriptions
+        assert 0 < added < 40
+        assert crowd.final_registered_subscriptions == (
+            crowd.total_subscriptions
+        )
+
+    def test_update_burst_publishes_more(self):
+        base = run_tiny()
+        burst = run_tiny(
+            events=(
+                UpdateBurst(
+                    at=150.0, duration=600.0, factor=16.0,
+                    channel_fraction=1.0,
+                ),
+            )
+        )
+        assert burst.updates_published > base.updates_published
+
+    def test_degradation_inflates_delay(self):
+        base = run_tiny()
+        degraded = run_tiny(
+            events=(
+                NetworkDegradation(
+                    at=0.0, duration=900.0, latency_factor=200.0
+                ),
+            )
+        )
+        # Same seed: identical protocol behaviour, inflated end-to-end
+        # freshness (dissemination latency is injected on top).
+        assert degraded.detections == base.detections
+        assert degraded.mean_detection_delay > base.mean_detection_delay
+
+
+class TestVariants:
+    def test_run_all_covers_variants(self):
+        spec = tiny_spec(
+            variants={
+                "flat": {"workload": {"zipf_exponent": 0.0}},
+                "skewed": {"workload": {"zipf_exponent": 1.0}},
+            }
+        )
+        results = ScenarioRunner(spec, seed=7).run_all()
+        assert list(results) == ["flat", "skewed"]
+        assert results["flat"].variant == "flat"
+        assert all(m.scenario == "tiny" for m in results.values())
+
+    def test_run_all_without_variants_is_base(self):
+        results = ScenarioRunner(tiny_spec(), seed=7).run_all()
+        assert list(results) == ["base"]
+
+
+class TestMetricsShape:
+    def test_dataclass_fields_survive_round_trip(self):
+        metrics = run_tiny()
+        payload = metrics.to_dict()
+        for field in dataclasses.fields(metrics):
+            assert field.name in payload
+
+    def test_summary_mentions_key_numbers(self):
+        metrics = run_tiny()
+        text = metrics.summary()
+        assert "scenario tiny" in text
+        assert str(metrics.detections) in text
+        assert str(metrics.polls) in text

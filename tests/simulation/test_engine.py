@@ -99,3 +99,48 @@ class TestCancellation:
         handle = engine.schedule(2.0, lambda now: None)
         handle.cancel()
         assert engine.pending() == 1
+
+
+class TestScheduleEvery:
+    def test_fires_at_start_and_each_interval_until_bound(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_every(50.0, 100.0, fired.append, until=300.0)
+        engine.run_until(1000.0)
+        # until is inclusive of the last occurrence at 250 + 100 > 300
+        assert fired == [50.0, 150.0, 250.0]
+
+    def test_unbounded_repeats_to_horizon(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_every(10.0, 10.0, fired.append)
+        engine.run_until(45.0)
+        assert fired == [10.0, 20.0, 30.0, 40.0]
+        engine.run_until(65.0)
+        assert fired[-1] == 60.0
+
+    def test_cancel_stops_the_series(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule_every(10.0, 10.0, fired.append)
+
+        def stopper(now):
+            if now >= 30.0:
+                handle.cancel()
+
+        engine.schedule_every(10.0, 10.0, stopper)
+        engine.run_until(100.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_start_past_until_never_fires(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_every(400.0, 100.0, fired.append, until=300.0)
+        engine.run_until(1000.0)
+        assert fired == []
+        assert engine.pending() == 0
+
+    def test_validation(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_every(0.0, 0.0, lambda now: None)

@@ -66,3 +66,25 @@ class TestLatencyModel:
             LatencyModel(floor=0.5, median=0.1)
         with pytest.raises(ValueError):
             LatencyModel().sample_path(-1)
+        with pytest.raises(ValueError):
+            LatencyModel(scale=0.0)
+        with pytest.raises(ValueError):
+            LatencyModel().degrade(-2.0)
+
+    def test_degradation_scales_samples(self):
+        base = LatencyModel(seed=7)
+        degraded = LatencyModel(seed=7)
+        degraded.degrade(10.0)
+        assert degraded.sample() == pytest.approx(base.sample() * 10.0)
+
+    def test_degradation_composes_and_inverts(self):
+        model = LatencyModel(seed=8)
+        model.degrade(10.0)
+        model.degrade(4.0)
+        assert model.scale == pytest.approx(40.0)
+        # undoing one event leaves the other active (the scenario
+        # runner relies on this for overlapping degradations)
+        model.degrade(1.0 / 10.0)
+        assert model.scale == pytest.approx(4.0)
+        model.restore()
+        assert model.scale == 1.0

@@ -106,3 +106,21 @@ class TestRateLimitAndFlashCrowd:
             farm.flash_crowd("http://nowhere/", 2.0, 0.0)
         with pytest.raises(ValueError):
             farm.flash_crowd("http://a.example/rss", 0.0, 0.0)
+
+    def test_flash_crowd_inverse_restores_interval(self, farm):
+        """Timed bursts undo themselves by the inverse factor."""
+        url = "http://b.example/rss"
+        base = farm.channels[url].update_interval
+        farm.flash_crowd(url, factor=8.0, now=0.0)
+        assert farm.channels[url].update_interval == pytest.approx(base / 8)
+        farm.flash_crowd(url, factor=1.0 / 8.0, now=100.0)
+        assert farm.channels[url].update_interval == pytest.approx(base)
+
+    def test_flash_crowd_factors_compound(self, farm):
+        url = "http://b.example/rss"
+        base = farm.channels[url].update_interval
+        farm.flash_crowd(url, factor=4.0, now=0.0)
+        farm.flash_crowd(url, factor=8.0, now=0.0)
+        farm.flash_crowd(url, factor=1.0 / 8.0, now=100.0)  # burst ends
+        # the 4x (sticky crowd) survives the 8x burst's end
+        assert farm.channels[url].update_interval == pytest.approx(base / 4)
