@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Diff fixed-seed scenario metrics against the committed CI baselines.
+
+Scenario runs are bit-for-bit deterministic (same spec + same seed ⇒
+identical ``--json`` metrics), so CI gates on *exact* equality: any
+metric drift — intended or not — shows up as a failing diff naming
+the scenario, variant and keys that moved.  Timings are deliberately
+not part of these files; they are reported separately from the
+``BENCH_timings_*.json`` artifacts and never gated.
+
+Usage::
+
+    python scripts/check_baselines.py            # compare (CI gate)
+    python scripts/check_baselines.py --update   # regenerate baselines
+
+To add a scenario to the CI baseline set: append its registered name
+to ``BASELINE_SCENARIOS`` below, run ``--update``, commit the new
+``ci/baselines/<name>.json``, and mention the change in the PR — the
+diff *is* the review artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios.registry import get_scenario  # noqa: E402
+from repro.scenarios.runner import ScenarioRunner  # noqa: E402
+
+#: The fixed-seed scenarios CI gates on.  Kept small and fast; the
+#: churn-scale-sweep is exercised by the benchmark suite instead so
+#: its timings land in BENCH_timings_*.json without gating CI runtime.
+BASELINE_SCENARIOS = ("steady-state", "heavy-churn")
+BASELINE_SEED = 0
+BASELINE_DIR = REPO_ROOT / "ci" / "baselines"
+
+
+def run_scenario(name: str) -> dict:
+    runner = ScenarioRunner(get_scenario(name), seed=BASELINE_SEED)
+    return {
+        label: metrics.to_dict()
+        for label, metrics in runner.run_all().items()
+    }
+
+
+def baseline_path(name: str) -> Path:
+    return BASELINE_DIR / f"{name}.json"
+
+
+def diff_metrics(expected: dict, actual: dict, context: str) -> list[str]:
+    """Human-readable per-key drift report (empty = identical)."""
+    drift: list[str] = []
+    for label in sorted(set(expected) | set(actual)):
+        if label not in expected:
+            drift.append(f"{context}[{label}]: variant not in baseline")
+            continue
+        if label not in actual:
+            drift.append(f"{context}[{label}]: variant missing from run")
+            continue
+        left, right = expected[label], actual[label]
+        for key in sorted(set(left) | set(right)):
+            if left.get(key) != right.get(key):
+                drift.append(
+                    f"{context}[{label}].{key}: "
+                    f"baseline {left.get(key)!r} != run {right.get(key)!r}"
+                )
+    return drift
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=list(BASELINE_SCENARIOS),
+        help="scenario names (default: the CI baseline set)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the committed baselines instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    names = args.names or list(BASELINE_SCENARIOS)
+
+    failures: list[str] = []
+    for name in names:
+        actual = run_scenario(name)
+        path = baseline_path(name)
+        if args.update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(actual, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"updated {path.relative_to(REPO_ROOT)}")
+            continue
+        if not path.exists():
+            failures.append(
+                f"{name}: no baseline at {path.relative_to(REPO_ROOT)} "
+                "(run scripts/check_baselines.py --update and commit it)"
+            )
+            continue
+        expected = json.loads(path.read_text())
+        drift = diff_metrics(expected, actual, context=name)
+        if drift:
+            failures.extend(drift)
+            print(f"FAIL {name}: {len(drift)} metric(s) drifted")
+        else:
+            print(f"ok   {name} (seed {BASELINE_SEED})")
+    if failures:
+        print("\nMetric drift against committed baselines:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "\nIf the drift is intended, regenerate with "
+            "`python scripts/check_baselines.py --update` and commit.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

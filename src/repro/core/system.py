@@ -69,13 +69,22 @@ class CoronaSystem:
         fetcher: Fetcher,
         seed: int = 0,
         notifier: Callable[[str, Iterable[str], Diff, float], None] | None = None,
+        incremental_churn: bool = True,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
         self.config = config
         self.fetcher = fetcher
+        #: False restores the pre-incremental churn paths (full
+        #: aggregator rebuild + anchor rescan per membership event,
+        #: sampled overlay repair) — the benchmarks' rebuild reference.
+        self.incremental_churn = incremental_churn
         self.overlay = OverlayNetwork.build(
-            n_nodes, base=config.base, leaf_size=config.replicas + 1, seed=seed
+            n_nodes,
+            base=config.base,
+            leaf_size=config.replicas + 1,
+            seed=seed,
+            incremental=incremental_churn,
         )
         self.nodes: dict[NodeId, CoronaNode] = {
             node_id: CoronaNode(
@@ -83,15 +92,20 @@ class CoronaSystem:
             )
             for node_id in self.overlay.node_ids()
         }
-        self.aggregator = DecentralizedAggregator(
-            tables=self.overlay.routing_tables(),
-            rows=self.overlay.aggregation_rows(),
-            bins=config.tradeoff_bins,
+        self.aggregator = DecentralizedAggregator.for_overlay(
+            self.overlay, bins=config.tradeoff_bins
         )
         self.managers: dict[str, NodeId] = {}
         self.counters = SystemCounters()
         self.detections: list[DetectionEvent] = []
         self._join_counter = 0
+        #: Anchor index: per managed channel, the cached channel id and
+        #: the current manager's ``(prefix, -ring distance)`` anchor
+        #: key.  A join then re-homes exactly the channels a newcomer's
+        #: key beats — one O(1) comparison per channel — instead of
+        #: recomputing every channel's anchor over the population.
+        self._channel_cids: dict[str, NodeId] = {}
+        self._anchor_index: dict[str, tuple[int, int]] = {}
         # Victim selection for crash_nodes when no rng is supplied:
         # seeded from the system seed (string seeding hashes via
         # SHA-512, so it is stable across processes) and advancing
@@ -114,11 +128,22 @@ class CoronaSystem:
             return False
         return self.nodes[manager_id].unsubscribe(url, client)
 
+    def _cid(self, url: str) -> NodeId:
+        cid = self._channel_cids.get(url)
+        if cid is None:
+            cid = channel_id(url)
+            self._channel_cids[url] = cid
+        return cid
+
+    def _anchor_key(self, node_id: NodeId, cid: NodeId) -> tuple[int, int]:
+        """The ordering :meth:`OverlayNetwork.anchor_of` maximizes."""
+        return self.overlay.anchor_key(node_id, cid)
+
     def _manager_for(self, url: str, now: float) -> NodeId:
         manager_id = self.managers.get(url)
         if manager_id is not None:
             return manager_id
-        cid = channel_id(url)
+        cid = self._cid(url)
         anchor = self.overlay.anchor_of(cid)
         prefix = anchor.shared_prefix_len(cid, self.config.base)
         self.nodes[anchor].adopt_channel(
@@ -128,6 +153,7 @@ class CoronaSystem:
             now=now,
         )
         self.managers[url] = anchor
+        self._anchor_index[url] = self._anchor_key(anchor, cid)
         return anchor
 
     # ------------------------------------------------------------------
@@ -141,43 +167,101 @@ class CoronaSystem:
         with subscription state transferred from the previous manager
         ("a node that becomes a new owner receives the state from
         other owners of the channel", §3.3).  Returns the new node id.
+
+        A single join is a wave of one; see :meth:`join_nodes` for the
+        batch entry point churn timelines use.
         """
-        pastry_node = self.overlay.add_node(address)
-        node = CoronaNode(
-            pastry_node.node_id, self.config, rng_seed=len(self.nodes)
-        )
-        self.nodes[pastry_node.node_id] = node
-        self.aggregator = DecentralizedAggregator(
-            tables=self.overlay.routing_tables(),
-            rows=self.overlay.aggregation_rows(),
-            bins=self.config.tradeoff_bins,
-        )
-        for url in list(self.managers):
-            cid = channel_id(url)
-            anchor = self.overlay.anchor_of(cid)
-            if anchor != pastry_node.node_id:
-                continue
-            previous_id = self.managers[url]
-            previous = self.nodes[previous_id]
-            state = previous.registry.export_state([url])
-            channel = previous.managed.pop(url)
-            previous.clocks.pop(url, None)
-            previous.registry.erase(url)
-            prefix = anchor.shared_prefix_len(cid, self.config.base)
-            adopted = node.adopt_channel(
-                url,
-                max_level=self.overlay.base_level(),
-                anchor_prefix=prefix,
-                now=now,
+        return self._join_wave([address], now=now)[0]
+
+    def _join_wave(self, addresses: list[str], now: float) -> list[NodeId]:
+        """Join a wave of nodes with one aggregation repair.
+
+        The incremental path splices the newcomers into the aggregator
+        (survivors keep every summary of an unchanged prefix region)
+        and consults the anchor index to re-home exactly the channels
+        some newcomer now anchors; the rebuild path reconstructs the
+        aggregator and rescans every channel per join, as the system
+        did before incremental churn.
+        """
+        joined: list[NodeId] = []
+        for address in addresses:
+            pastry_node = self.overlay.add_node(address)
+            node = CoronaNode(
+                pastry_node.node_id, self.config, rng_seed=len(self.nodes)
             )
-            adopted.level = channel.level
-            adopted.clamp_level()
-            adopted.stats = channel.stats
-            node.registry.import_state(state)
-            adopted.stats.subscribers = node.registry.count(url)
-            self.managers[url] = pastry_node.node_id
-        self.counters.joins += 1
-        return pastry_node.node_id
+            self.nodes[pastry_node.node_id] = node
+            joined.append(pastry_node.node_id)
+            if not self.incremental_churn:
+                self._rebuild_aggregator()
+                self._rehome_after_join(
+                    [pastry_node.node_id], now, use_index=False
+                )
+        if self.incremental_churn:
+            self.aggregator.add_nodes(
+                joined, rows=self.overlay.aggregation_rows()
+            )
+            self._rehome_after_join(joined, now, use_index=True)
+        self.counters.joins += len(joined)
+        return joined
+
+    def _rehome_after_join(
+        self, joined: list[NodeId], now: float, use_index: bool
+    ) -> None:
+        """Move channels whose anchor became one of ``joined``.
+
+        With ``use_index`` the current manager's cached anchor key is
+        compared against each newcomer's — O(joined) per channel, no
+        population scan; otherwise every channel's anchor is recomputed
+        (the pre-incremental behaviour).
+        """
+        for url in list(self.managers):
+            cid = self._cid(url)
+            if use_index:
+                best_key = self._anchor_index[url]
+                winner: NodeId | None = None
+                for node_id in joined:
+                    key = self._anchor_key(node_id, cid)
+                    if key > best_key:
+                        best_key, winner = key, node_id
+                if winner is None:
+                    continue
+            else:
+                winner = self.overlay.anchor_of(cid)
+                if winner not in joined or winner == self.managers[url]:
+                    continue
+            self._transfer_channel(url, cid, winner, now)
+            self.counters.rehomed_channels += 1
+
+    def _transfer_channel(
+        self, url: str, cid: NodeId, new_manager: NodeId, now: float
+    ) -> None:
+        """Hand ``url`` from its current manager to ``new_manager``.
+
+        Subscription state moves exactly once: the previous manager
+        exports and erases its registry entry, the new one imports it.
+        The channel record (level, factor estimators) moves with it.
+        """
+        previous_id = self.managers[url]
+        previous = self.nodes[previous_id]
+        state = previous.registry.export_state([url])
+        channel = previous.managed.pop(url)
+        previous.clocks.pop(url, None)
+        previous.registry.erase(url)
+        node = self.nodes[new_manager]
+        prefix = new_manager.shared_prefix_len(cid, self.config.base)
+        adopted = node.adopt_channel(
+            url,
+            max_level=self.overlay.base_level(),
+            anchor_prefix=prefix,
+            now=now,
+        )
+        adopted.level = channel.level
+        adopted.clamp_level()
+        adopted.stats = channel.stats
+        node.registry.import_state(state)
+        adopted.stats.subscribers = node.registry.count(url)
+        self.managers[url] = new_manager
+        self._anchor_index[url] = self._anchor_key(new_manager, cid)
 
     def fail_node(self, node_id: NodeId, now: float = 0.0) -> int:
         """Fail one node; re-home its channels with their subscriptions.
@@ -185,12 +269,70 @@ class CoronaSystem:
         Models the paper's ownership transfer: "a node that becomes a
         new owner receives the state from other owners of the channel".
         The synchronous container sources the state from the failing
-        node's registry, which stands in for the surviving replicas
-        (state is identical by construction).  Returns the number of
-        channels re-homed.
+        node's registry, which stands in for the surviving replicas —
+        a replica set's copies are identical by construction here, so
+        reading the dying node's registry is observationally equivalent
+        to fetching the same state from its ``f`` ring neighbours, and
+        subscriber counts survive manager crashes intact (tested).
+        Returns the number of channels re-homed.
         """
-        if node_id not in self.nodes:
-            raise KeyError(f"unknown node {node_id!r}")
+        return self._fail_wave([node_id], now=now)
+
+    def _fail_wave(self, victims: list[NodeId], now: float) -> int:
+        """Fail a wave of nodes with one overlay/aggregation repair.
+
+        Subscription state is exported before the wave dies; orphaned
+        channels are re-homed to their post-wave anchors, so a channel
+        whose successive anchors both die in the same wave transfers
+        once, not twice.  Returns the number of channels re-homed.
+        """
+        for node_id in victims:
+            if node_id not in self.nodes:
+                raise KeyError(f"unknown node {node_id!r}")
+        if not self.incremental_churn:
+            return sum(
+                self._fail_single_rebuild(node_id, now) for node_id in victims
+            )
+        orphaned: list[tuple[str, set[str]]] = []
+        for node_id in victims:
+            dying = self.nodes[node_id]
+            state = dying.registry.export_state()
+            orphaned.extend(
+                (url, state.get(url, set())) for url in dying.managed
+            )
+        self.overlay.remove_nodes(victims)
+        for node_id in victims:
+            del self.nodes[node_id]
+        self.aggregator.remove_nodes(
+            victims, rows=self.overlay.aggregation_rows()
+        )
+        rehomed = 0
+        for url, subscribers in orphaned:
+            self._adopt_orphan(url, subscribers, now)
+            rehomed += 1
+        self.counters.crashes += len(victims)
+        self.counters.rehomed_channels += rehomed
+        return rehomed
+
+    def _adopt_orphan(self, url: str, subscribers: set[str], now: float) -> None:
+        """Re-home one orphaned channel onto its current anchor."""
+        cid = self._cid(url)
+        anchor = self.overlay.anchor_of(cid)
+        prefix = anchor.shared_prefix_len(cid, self.config.base)
+        node = self.nodes[anchor]
+        channel = node.adopt_channel(
+            url,
+            max_level=self.overlay.base_level(),
+            anchor_prefix=prefix,
+            now=now,
+        )
+        node.registry.import_state({url: set(subscribers)})
+        channel.stats.subscribers = node.registry.count(url)
+        self.managers[url] = anchor
+        self._anchor_index[url] = self._anchor_key(anchor, cid)
+
+    def _fail_single_rebuild(self, node_id: NodeId, now: float) -> int:
+        """The pre-incremental failure path (rebuild reference)."""
         dying = self.nodes[node_id]
         state = dying.registry.export_state()
         orphaned_urls = list(dying.managed)
@@ -198,30 +340,29 @@ class CoronaSystem:
         del self.nodes[node_id]
         # Aggregation state is rebuilt over the surviving population
         # (the overlay's self-healing already repaired routing tables).
-        self.aggregator = DecentralizedAggregator(
-            tables=self.overlay.routing_tables(),
-            rows=self.overlay.aggregation_rows(),
-            bins=self.config.tradeoff_bins,
-        )
+        self._rebuild_aggregator()
         rehomed = 0
         for url in orphaned_urls:
-            cid = channel_id(url)
-            anchor = self.overlay.anchor_of(cid)
-            prefix = anchor.shared_prefix_len(cid, self.config.base)
-            node = self.nodes[anchor]
-            channel = node.adopt_channel(
-                url,
-                max_level=self.overlay.base_level(),
-                anchor_prefix=prefix,
-                now=now,
-            )
-            node.registry.import_state({url: state.get(url, set())})
-            channel.stats.subscribers = node.registry.count(url)
-            self.managers[url] = anchor
+            self._adopt_orphan(url, state.get(url, set()), now)
             rehomed += 1
         self.counters.crashes += 1
         self.counters.rehomed_channels += rehomed
         return rehomed
+
+    def _rebuild_aggregator(self) -> None:
+        """Reconstruct aggregation state from scratch (rebuild path).
+
+        Materializes the routing tables into a plain dict, as the
+        pre-incremental system did on every membership event — kept as
+        the reference the churn benchmarks and equivalence tests
+        compare the incremental splice against.
+        """
+        self.aggregator = DecentralizedAggregator(
+            tables=dict(self.overlay.routing_tables()),
+            rows=self.overlay.aggregation_rows(),
+            bins=self.config.tradeoff_bins,
+            base=self.config.base,
+        )
 
     def manager_nodes(self) -> set[NodeId]:
         """Nodes currently managing at least one channel."""
@@ -233,16 +374,18 @@ class CoronaSystem:
         """Join ``count`` fresh nodes; returns their ids in join order.
 
         Addresses are minted from a monotonic counter so repeated waves
-        (scenario churn timelines) never collide.
+        (scenario churn timelines) never collide.  The whole wave is
+        spliced into the aggregator with a single repair pass.
         """
         if count < 0:
             raise ValueError("join count cannot be negative")
-        joined: list[NodeId] = []
+        addresses: list[str] = []
         for _ in range(count):
             self._join_counter += 1
-            address = f"{address_prefix}-{self._join_counter}"
-            joined.append(self.add_node(address, now=now))
-        return joined
+            addresses.append(f"{address_prefix}-{self._join_counter}")
+        if not addresses:
+            return []
+        return self._join_wave(addresses, now=now)
 
     def crash_nodes(
         self,
@@ -279,8 +422,10 @@ class CoronaSystem:
             pool = [node_id for node_id in pool if node_id not in managers]
         count = min(count, len(pool), len(self.nodes) - 1)
         victims = generator.sample(pool, count) if count else []
-        for victim in victims:
-            self.fail_node(victim, now=now)
+        if victims:
+            # One wave ⇒ one overlay repair and one aggregation splice,
+            # however many victims (the rebuild path loops internally).
+            self._fail_wave(victims, now=now)
         return victims
 
     # ------------------------------------------------------------------

@@ -28,7 +28,7 @@ away.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.honeycomb.clusters import ChannelFactors, ClusterSummary
@@ -92,6 +92,19 @@ class DecentralizedAggregator:
     ``local_channels`` supplies, per node, the factors of the channels
     that node currently owns; each round rebuilds radius-``K``
     summaries from it and extends every node's horizon one digit.
+
+    Churn is handled **incrementally** (paper §3.3): a joining or
+    failing node is spliced into/out of ``states`` in place via
+    :meth:`add_nodes`/:meth:`remove_nodes`, and survivors keep every
+    summary whose prefix region the event did not touch.  Their
+    horizons shrink only where membership actually changed — matching
+    the protocol's one-interval staleness — and because every round
+    recomputes each radius from the previous round's snapshot, the
+    spliced state reconverges to exactly what a from-scratch rebuild
+    would compute within ``rows`` rounds (the churn-equivalence test
+    suite asserts this bit for bit).  ``tables`` should be a live view
+    (see :meth:`repro.overlay.network.OverlayNetwork.routing_tables`)
+    so membership changes never require re-materializing it.
     """
 
     def __init__(
@@ -99,14 +112,122 @@ class DecentralizedAggregator:
         tables: Mapping[NodeId, RoutingTable],
         rows: int,
         bins: int = 16,
+        base: int | None = None,
     ) -> None:
         self.tables = tables
         self.rows = rows
         self.bins = bins
+        if base is None:
+            base = next(
+                (table.base for table in tables.values()), 16
+            )
+        self.base = base
         self.states: dict[NodeId, AggregationState] = {
             node_id: AggregationState(node_id=node_id, rows=rows, bins=bins)
             for node_id in tables
         }
+
+    @classmethod
+    def for_overlay(cls, overlay, bins: int = 16) -> "DecentralizedAggregator":
+        """Build over an overlay's live routing-table view."""
+        return cls(
+            tables=overlay.routing_tables(),
+            rows=overlay.aggregation_rows(),
+            bins=bins,
+            base=overlay.base,
+        )
+
+    # ------------------------------------------------------------------
+    # incremental churn (§3.3)
+    # ------------------------------------------------------------------
+    def add_nodes(
+        self, node_ids: Iterable[NodeId], rows: int | None = None
+    ) -> None:
+        """Splice a wave of joined nodes into the aggregation state.
+
+        Each newcomer starts with empty summaries (its horizon grows
+        one digit per round, like any node's); each survivor drops only
+        the summaries whose prefix region now contains a newcomer —
+        those undercount until the next rounds repair them, and serving
+        them would misreport the region.  ``rows`` re-keys the state
+        when the join deepened the overlay's collision depth (pass the
+        overlay's current ``aggregation_rows()``).
+        """
+        joined = list(node_ids)
+        for node_id in joined:
+            if node_id in self.states:
+                raise ValueError(f"node {node_id!r} already aggregated")
+            self.states[node_id] = AggregationState(
+                node_id=node_id, rows=self.rows, bins=self.bins
+            )
+        self._trim_changed_regions(joined, skip=set(joined))
+        if rows is not None:
+            self.set_rows(rows)
+
+    def remove_nodes(
+        self, node_ids: Iterable[NodeId], rows: int | None = None
+    ) -> None:
+        """Splice a wave of failed nodes out of the aggregation state.
+
+        Survivors keep every summary of an untouched prefix region;
+        radii whose region contained a victim are dropped (they count
+        channels the victims' successors now re-announce).  One wave ⇒
+        one repair pass, however many nodes failed.
+        """
+        victims = list(node_ids)
+        for node_id in victims:
+            if node_id not in self.states:
+                raise KeyError(f"node {node_id!r} not aggregated")
+        for node_id in victims:
+            del self.states[node_id]
+        self._trim_changed_regions(victims, skip=frozenset())
+        if rows is not None:
+            self.set_rows(rows)
+
+    def _trim_changed_regions(
+        self, changed: list[NodeId], skip: frozenset[NodeId] | set[NodeId]
+    ) -> None:
+        """Shrink survivors' horizons only where membership changed.
+
+        A survivor's radius-``r`` summary covers the nodes sharing
+        ``r`` prefix digits with it; a membership event at shared
+        prefix ``p`` therefore staled exactly the radii ``r <= p``.
+        The local (radius-``rows``) summary is never dropped — it is
+        rebuilt from owned channels every round regardless.
+        """
+        if not changed:
+            return
+        for state in self.states.values():
+            if state.node_id in skip:
+                continue
+            horizon = min(state.summaries, default=state.rows)
+            if horizon >= state.rows:
+                continue  # only the local summary left — nothing stale
+            deepest = max(
+                state.node_id.shared_prefix_len(node_id, self.base)
+                for node_id in changed
+            )
+            for radius in range(horizon, min(deepest, state.rows - 1) + 1):
+                state.summaries.pop(radius, None)
+                state.remote.pop(radius, None)
+
+    def set_rows(self, rows: int) -> None:
+        """Adjust the aggregation depth after a collision-depth change.
+
+        Rare: only when churn changes the deepest shared prefix in the
+        overlay.  Local summaries move to the new local radius; wider
+        radii are dropped (their meaning shifted) and regrow one digit
+        per round.
+        """
+        if rows == self.rows:
+            return
+        for state in self.states.values():
+            local = state.summaries.get(state.rows)
+            local_remote = state.remote.get(state.rows)
+            state.summaries = {} if local is None else {rows: local}
+            state.remote = {} if local_remote is None else {rows: local_remote}
+            state.rows = rows
+        self.rows = rows
 
     # ------------------------------------------------------------------
     def load_local(

@@ -10,7 +10,6 @@ promotes a neighbour without losing subscriptions (§3.3).
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.overlay.nodeid import ID_SPACE, NodeId
@@ -46,14 +45,25 @@ class LeafSet:
         return admitted
 
     def _admit(self, side: list[NodeId], distance: int, candidate: NodeId) -> bool:
-        keyed = [(self._key(side, member), member) for member in side]
+        # Sides are kept sorted by ring distance (distances are unique
+        # for a fixed owner), so admission is a binary search instead
+        # of a rebuild-and-sort — this is the hot path of every join
+        # announcement and churn repair.
         if candidate in side:
             return False
-        insort(keyed, (distance, candidate))
-        new_side = [member for _, member in keyed[: self.size]]
-        changed = new_side != side
-        side[:] = new_side
-        return changed and candidate in side
+        lo, hi = 0, len(side)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._key(side, side[mid]) < distance:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= self.size:
+            return False
+        side.insert(lo, candidate)
+        if len(side) > self.size:
+            side.pop()
+        return True
 
     def _key(self, side: list[NodeId], member: NodeId) -> int:
         if side is self._cw:
@@ -61,12 +71,26 @@ class LeafSet:
         return member.distance_cw(self.owner)
 
     # ------------------------------------------------------------------
-    def remove(self, failed: NodeId) -> None:
-        """Drop a failed node from both sides."""
+    def remove(self, failed: NodeId) -> bool:
+        """Drop a failed node from both sides; True if it was a member."""
+        removed = False
         if failed in self._cw:
             self._cw.remove(failed)
+            removed = True
         if failed in self._ccw:
             self._ccw.remove(failed)
+            removed = True
+        return removed
+
+    def reset(self, clockwise: list[NodeId], counter_clockwise: list[NodeId]) -> None:
+        """Replace both sides with exact neighbour lists, nearest first.
+
+        Used by the overlay's incremental churn repair, which computes
+        the true ring slices from its sorted membership index instead
+        of re-discovering them through sampled observations.
+        """
+        self._cw[:] = clockwise[: self.size]
+        self._ccw[:] = counter_clockwise[: self.size]
 
     def members(self) -> list[NodeId]:
         """All distinct leaf-set members, unordered."""

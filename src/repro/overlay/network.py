@@ -11,21 +11,78 @@ The container is deliberately synchronous — the discrete-event
 simulators layer timing on top; this class answers only *structural*
 questions (who owns key k, who is in this wedge, what route does a
 message take).
+
+Churn is **incremental** (default): the container maintains a sorted
+identifier index, so a join touches only the newcomer's exact ring
+neighbours plus one empty-slot check per survivor, and a failure wave
+repairs only the survivors that actually referenced a dead node —
+refilling each lost routing slot and leaf from the index instead of
+re-sampling the whole population.  The end state is at least as
+complete as the announcement-based protocol it replaces: a routing
+slot is empty only when no live node with the required prefix exists,
+and every leaf set is the exact ring slice around its owner.  The
+pre-incremental paths (``incremental=False``) are retained as the
+rebuild reference the churn benchmarks compare against.
 """
 
 from __future__ import annotations
 
 import random
-from collections.abc import Iterable
+from bisect import bisect_left, insort
+from collections import Counter
+from collections.abc import Iterable, Iterator, Mapping
 
 from repro.overlay.hashing import node_id_for_address
+from repro.overlay.leafset import LeafSet
 from repro.overlay.node import PastryNode
-from repro.overlay.nodeid import NodeId
+from repro.overlay.nodeid import ID_BITS, NodeId, bits_per_digit, digits_per_id
+from repro.overlay.routing import RoutingTable
 from repro.overlay.wedge import base_level, wedge_members
 
 
 class RouteError(RuntimeError):
     """Raised when routing cannot make progress (partitioned state)."""
+
+
+def _slot_for_values(
+    owner_value: int, other_value: int, bpd: int, mask: int
+) -> tuple[int, int]:
+    """(row, col) of ``other`` in ``owner``'s table, on raw id values.
+
+    The integer-arithmetic twin of :meth:`RoutingTable.slot_for`, used
+    on the churn hot paths where per-pair method/object overhead
+    dominates: row is the shared-prefix digit count, col the other
+    node's next digit.  ``bpd``/``mask`` are ``bits_per_digit(base)``
+    and ``base - 1``, hoisted by the caller.
+    """
+    xor = owner_value ^ other_value
+    row = (ID_BITS - xor.bit_length()) // bpd
+    col = (other_value >> (ID_BITS - (row + 1) * bpd)) & mask
+    return row, col
+
+
+class RoutingTablesView(Mapping):
+    """Live read-only mapping node-id → routing table.
+
+    Backed directly by the overlay's membership, so consumers holding
+    it (the decentralized aggregator, wedge floods) always see current
+    tables without re-materializing a dict per membership event — the
+    "incremental routing-table view" half of incremental churn.
+    """
+
+    __slots__ = ("_network",)
+
+    def __init__(self, network: "OverlayNetwork") -> None:
+        self._network = network
+
+    def __getitem__(self, node_id: NodeId) -> RoutingTable:
+        return self._network.nodes[node_id].table
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._network.nodes)
+
+    def __len__(self) -> int:
+        return len(self._network.nodes)
 
 
 class OverlayNetwork:
@@ -38,8 +95,13 @@ class OverlayNetwork:
     leaf_size:
         Leaf-set half-width ``f``; also the owner-replication factor.
     rng:
-        Source of randomness for join gossip sampling, so simulations
-        are reproducible.
+        Source of randomness for the legacy join/repair paths, so
+        simulations are reproducible.  The incremental paths are
+        deterministic and draw nothing.
+    incremental:
+        When True (default) joins and failures use the index-based
+        incremental paths; False restores the announcement/sampled
+        repair behaviour (the churn benchmarks' rebuild reference).
     """
 
     def __init__(
@@ -47,11 +109,31 @@ class OverlayNetwork:
         base: int = 16,
         leaf_size: int = 8,
         rng: random.Random | None = None,
+        incremental: bool = True,
     ) -> None:
         self.base = base
         self.leaf_size = leaf_size
         self.rng = rng or random.Random(0)
+        self.incremental = incremental
         self.nodes: dict[NodeId, PastryNode] = {}
+        #: Sorted live identifier values — the membership index the
+        #: incremental join/repair/ownership paths bisect into.
+        self._ids: list[int] = []
+        self._by_value: dict[int, NodeId] = {}
+        self._tables_view = RoutingTablesView(self)
+        #: Histogram of shared-prefix depths between value-adjacent
+        #: node pairs.  The deepest prefix collision in the population
+        #: is always between sorted neighbours, so this keeps
+        #: :meth:`aggregation_rows` O(1) under churn instead of
+        #: rescanning every routing table per membership event.
+        self._pair_depths: Counter[int] = Counter()
+
+    def _spl_values(self, a: int, b: int) -> int:
+        """Shared-prefix digits between two identifier values."""
+        if a == b:
+            return digits_per_id(self.base)
+        xor = a ^ b
+        return (ID_BITS - xor.bit_length()) // bits_per_digit(self.base)
 
     # ------------------------------------------------------------------
     # membership
@@ -67,9 +149,108 @@ class OverlayNetwork:
             address=address,
             leaf_size=self.leaf_size,
         )
-        self._join(node)
+        if self.incremental:
+            self._join_incremental(node)
+        else:
+            self._join(node)
         self.nodes[node_id] = node
+        self._index_insert(node_id)
         return node
+
+    def _index_insert(self, node_id: NodeId) -> None:
+        value = node_id.value
+        ids = self._ids
+        position = bisect_left(ids, value)
+        pred = ids[position - 1] if position > 0 else None
+        succ = ids[position] if position < len(ids) else None
+        if pred is not None and succ is not None:
+            self._pair_depths[self._spl_values(pred, succ)] -= 1
+        if pred is not None:
+            self._pair_depths[self._spl_values(pred, value)] += 1
+        if succ is not None:
+            self._pair_depths[self._spl_values(value, succ)] += 1
+        ids.insert(position, value)
+        self._by_value[value] = node_id
+
+    def _join_incremental(self, joining: PastryNode) -> None:
+        """Index-based join: exact neighbour updates, bisected table fill.
+
+        Reaches the same end state as the announcement-based join — the
+        newcomer's table is as complete as the population allows and
+        every affected peer learns of it — while touching only
+        O(N) cheap slot checks plus the 2f true ring neighbours:
+
+        * the newcomer's leaf set is the exact ring slice around its
+          identifier, and those neighbours reciprocally admit it (no
+          other node's leaf set can contain it);
+        * the newcomer's routing slots are filled by prefix-range
+          bisection into the sorted index;
+        * every survivor files the newcomer into its (single) matching
+          routing slot if that slot is empty — first-observed-wins,
+          exactly what the join announcements used to do.
+        """
+        if not self.nodes:
+            return
+        ids = self._ids
+        n = len(ids)
+        position = bisect_left(ids, joining.node_id.value)
+        span = min(self.leaf_size, n)
+        for offset in range(span):
+            successor = self._by_value[ids[(position + offset) % n]]
+            predecessor = self._by_value[ids[(position - 1 - offset) % n]]
+            for neighbour_id in (successor, predecessor):
+                joining.observe(neighbour_id)
+                self.nodes[neighbour_id].observe(joining.node_id)
+        self._fill_table_from_index(joining)
+        new_id = joining.node_id
+        new_value = new_id.value
+        bpd = bits_per_digit(self.base)
+        mask = self.base - 1
+        for survivor in self.nodes.values():
+            # Inline table.observe: the newcomer fits exactly one slot
+            # per survivor, filled only if empty (first-observed wins).
+            row, col = _slot_for_values(
+                survivor.node_id.value, new_value, bpd, mask
+            )
+            bucket = survivor.table._rows.setdefault(row, {})
+            if col not in bucket:
+                bucket[col] = new_id
+
+    def _fill_table_from_index(self, node: PastryNode) -> None:
+        """Populate every routing slot that has a live candidate.
+
+        Row ``r`` column ``c`` wants a node matching ``node``'s first
+        ``r`` digits with ``c`` as digit ``r`` — an aligned identifier
+        range, resolved by bisection.  Slots already filled (by leaf
+        neighbours) are kept; rows past the node's deepest non-empty
+        prefix region are skipped entirely.
+        """
+        ids = self._ids
+        value = node.node_id.value
+        bpd = bits_per_digit(self.base)
+        for row in range(digits_per_id(self.base)):
+            shift = ID_BITS - (row + 1) * bpd
+            top = value >> (shift + bpd)
+            own_digit = (value >> shift) & (self.base - 1)
+            # Any candidate in rows >= row shares the first `row`
+            # digits; if that region holds no other live node, deeper
+            # rows are empty too.
+            region_lo = top << (shift + bpd)
+            region_hi = region_lo + (1 << (shift + bpd))
+            left = bisect_left(ids, region_lo)
+            right = bisect_left(ids, region_hi)
+            occupied = right - left
+            if node.node_id.value in self._by_value:
+                occupied -= 1  # the node itself, when already indexed
+            if occupied <= 0:
+                break
+            for col in range(self.base):
+                if col == own_digit:
+                    continue
+                lo = ((top << bpd) | col) << shift
+                index = bisect_left(ids, lo, left, right)
+                if index < right and ids[index] < lo + (1 << shift):
+                    node.table.observe(self._by_value[ids[index]])
 
     def _join(self, joining: PastryNode) -> None:
         """Pastry join: learn state from the route toward our own id.
@@ -78,6 +259,7 @@ class OverlayNetwork:
         the route contributes its routing state.  With the synchronous
         container we additionally let the affected peers observe the
         newcomer, which stands in for Pastry's join announcements.
+        (Legacy path, kept as the rebuild benchmarks' reference.)
         """
         if not self.nodes:
             return
@@ -110,12 +292,119 @@ class OverlayNetwork:
 
     def remove_node(self, node_id: NodeId) -> None:
         """Fail a node and run self-healing repair at its peers."""
-        if node_id not in self.nodes:
-            raise KeyError(f"unknown node {node_id!r}")
+        self.remove_nodes([node_id])
+
+    def remove_nodes(self, node_ids: Iterable[NodeId]) -> None:
+        """Fail a whole wave of nodes with one repair pass.
+
+        The incremental path deletes the wave from the index, then
+        repairs only the survivors that actually referenced a dead
+        node: each lost routing slot is refilled by prefix-range
+        bisection and each thinned leaf set is rebuilt as the exact
+        ring slice.  One wave ⇒ one repair, however many nodes fail.
+        """
+        victims = list(node_ids)
+        for node_id in victims:
+            if node_id not in self.nodes:
+                raise KeyError(f"unknown node {node_id!r}")
+        if len(set(victims)) != len(victims):
+            raise ValueError("duplicate node in removal wave")
+        if not self.incremental:
+            for node_id in victims:
+                self._drop_from_index(node_id)
+                for survivor in self.nodes.values():
+                    survivor.forget(node_id)
+                self._repair()
+            return
+        # Leaf sets are exact ring slices (invariant of the incremental
+        # paths), so only each victim's current ring neighbours can
+        # hold it as a leaf — collect them before the index shrinks.
+        leaf_holders: set[NodeId] = set()
+        for node_id in victims:
+            clockwise, counter_clockwise = self._ring_slices(node_id)
+            leaf_holders.update(clockwise)
+            leaf_holders.update(counter_clockwise)
+        for node_id in victims:
+            self._drop_from_index(node_id)
+        if not self.nodes:
+            return
+        for holder_id in leaf_holders:
+            holder = self.nodes.get(holder_id)
+            if holder is None:
+                continue  # the holder died in the same wave
+            clockwise, counter_clockwise = self._ring_slices(holder_id)
+            holder.leaves.reset(clockwise, counter_clockwise)
+        self._repair_tables(victims)
+
+    def _drop_from_index(self, node_id: NodeId) -> None:
         del self.nodes[node_id]
+        value = node_id.value
+        ids = self._ids
+        position = bisect_left(ids, value)
+        pred = ids[position - 1] if position > 0 else None
+        succ = ids[position + 1] if position + 1 < len(ids) else None
+        if pred is not None:
+            self._pair_depths[self._spl_values(pred, value)] -= 1
+        if succ is not None:
+            self._pair_depths[self._spl_values(value, succ)] -= 1
+        if pred is not None and succ is not None:
+            self._pair_depths[self._spl_values(pred, succ)] += 1
+        del ids[position]
+        del self._by_value[value]
+
+    def _repair_tables(self, victims: list[NodeId]) -> None:
+        """Erase dead routing entries and refill each slot exactly.
+
+        A victim can sit in exactly one slot of each survivor's table
+        (row = shared prefix, column = the victim's next digit), so the
+        scan is one integer-xor prefix computation per survivor/victim
+        pair; only slots that actually pointed at a victim are
+        repaired, by prefix-range bisection into the live index.
+        """
+        bpd = bits_per_digit(self.base)
+        mask = self.base - 1
+        victim_values = [(dead, dead.value) for dead in victims]
         for survivor in self.nodes.values():
-            survivor.forget(node_id)
-        self._repair()
+            survivor_value = survivor.node_id.value
+            rows = survivor.table._rows
+            for dead, dead_value in victim_values:
+                row, col = _slot_for_values(
+                    survivor_value, dead_value, bpd, mask
+                )
+                bucket = rows.get(row)
+                if not bucket or bucket.get(col) != dead:
+                    continue
+                del bucket[col]
+                replacement = self._slot_candidate(survivor.node_id, row, col)
+                if replacement is not None:
+                    bucket[col] = replacement
+
+    def _slot_candidate(
+        self, owner: NodeId, row: int, col: int
+    ) -> NodeId | None:
+        """First live node fitting routing slot (row, col) of ``owner``."""
+        bpd = bits_per_digit(self.base)
+        shift = ID_BITS - (row + 1) * bpd
+        top = owner.value >> (shift + bpd)
+        lo = ((top << bpd) | col) << shift
+        index = bisect_left(self._ids, lo)
+        if index < len(self._ids) and self._ids[index] < lo + (1 << shift):
+            return self._by_value[self._ids[index]]
+        return None
+
+    def _ring_slices(self, node_id: NodeId) -> tuple[list[NodeId], list[NodeId]]:
+        """The exact ``leaf_size`` ring neighbours on each side."""
+        ids = self._ids
+        n = len(ids)
+        position = bisect_left(ids, node_id.value)
+        span = min(self.leaf_size, n - 1)
+        clockwise = [
+            self._by_value[ids[(position + 1 + k) % n]] for k in range(span)
+        ]
+        counter_clockwise = [
+            self._by_value[ids[(position - 1 - k) % n]] for k in range(span)
+        ]
+        return clockwise, counter_clockwise
 
     def _repair(self) -> None:
         """Refill empty routing slots and thin leaf sets from live peers.
@@ -123,6 +412,7 @@ class OverlayNetwork:
         Mirrors Pastry's property that *any* node with the right prefix
         can occupy a slot: each node re-observes a sample of the live
         population.  Sampling keeps repair O(N·sample) instead of O(N²).
+        (Legacy path; the incremental repair refills slots exactly.)
         """
         population = list(self.nodes)
         if not population:
@@ -171,6 +461,24 @@ class OverlayNetwork:
             raise KeyError(f"unknown start node {start!r}")
         return self._trace_route(self.nodes[start], key)
 
+    def _adjacent_ids(self, key: NodeId) -> list[NodeId]:
+        """The live nodes adjacent to ``key`` in identifier order.
+
+        Both the numerically closest node and the longest-prefix-match
+        node are always among the sorted neighbours of the key (common
+        prefixes are maximal between sorted neighbours), so ownership
+        queries resolve with a bisect instead of a population scan.
+        """
+        ids = self._ids
+        n = len(ids)
+        position = bisect_left(ids, key.value)
+        values = {
+            ids[(position - 1) % n],
+            ids[position % n],
+            ids[(position + 1) % n],
+        }
+        return [self._by_value[value] for value in values]
+
     def owner_of(self, key: NodeId) -> NodeId:
         """The primary owner: numerically closest node to ``key``.
 
@@ -179,11 +487,21 @@ class OverlayNetwork:
         """
         if not self.nodes:
             raise RouteError("empty overlay")
-        from repro.overlay.leafset import LeafSet
-
         return min(
-            self.nodes,
+            self._adjacent_ids(key),
             key=lambda node_id: LeafSet._ownership_distance(node_id, key),
+        )
+
+    def anchor_key(self, node_id: NodeId, key: NodeId) -> tuple[int, int]:
+        """The ordering :meth:`anchor_of` maximizes, as a sortable key.
+
+        Exposed so callers maintaining anchor caches (the system's
+        anchor index) compare candidates with *exactly* the comparator
+        anchor resolution uses — one source of truth for the tie-break.
+        """
+        return (
+            node_id.shared_prefix_len(key, self.base),
+            -LeafSet._ownership_distance(node_id, key),
         )
 
     def anchor_of(self, key: NodeId) -> NodeId:
@@ -199,14 +517,9 @@ class OverlayNetwork:
         """
         if not self.nodes:
             raise RouteError("empty overlay")
-        from repro.overlay.leafset import LeafSet
-
         return max(
-            self.nodes,
-            key=lambda node_id: (
-                node_id.shared_prefix_len(key, self.base),
-                -LeafSet._ownership_distance(node_id, key),
-            ),
+            self._adjacent_ids(key),
+            key=lambda node_id: self.anchor_key(node_id, key),
         )
 
     def replica_owners(self, key: NodeId, replicas: int) -> list[NodeId]:
@@ -239,19 +552,40 @@ class OverlayNetwork:
 
         Cluster aggregation recurses region-by-region down to singleton
         regions; a routing-table entry at row ``r`` exists exactly when
-        some pair of nodes shares ``r`` prefix digits, so one digit past
-        the deepest occupied row is guaranteed collision-free.
+        some pair of nodes shares ``r`` prefix digits, and the deepest
+        such pair is always value-adjacent, so the answer is read off
+        the maintained pair-depth histogram in O(1) per churn event.
+
+        The legacy mode keeps the original table scan: after sampled
+        repair a table may transiently miss its deepest entry, and the
+        rebuild reference must reproduce that pre-incremental answer
+        exactly.
         """
-        deepest = 0
-        for node in self.nodes.values():
-            rows = node.table.occupied_rows()
-            if rows:
-                deepest = max(deepest, rows[-1])
+        if not self.incremental:
+            deepest = 0
+            for node in self.nodes.values():
+                rows = node.table.occupied_rows()
+                if rows:
+                    deepest = max(deepest, rows[-1])
+            return deepest + 1
+        deepest = max(
+            (
+                depth
+                for depth, count in self._pair_depths.items()
+                if count > 0
+            ),
+            default=0,
+        )
         return deepest + 1
 
-    def routing_tables(self) -> dict[NodeId, "object"]:
-        """Mapping node-id -> routing table (for DAG walks)."""
-        return {node_id: node.table for node_id, node in self.nodes.items()}
+    def routing_tables(self) -> Mapping[NodeId, RoutingTable]:
+        """Live mapping node-id -> routing table (for DAG walks).
+
+        The returned view is cached and always current — holders never
+        need to re-fetch after membership changes, and per-message
+        floods no longer materialize a dict per call.
+        """
+        return self._tables_view
 
     def node_ids(self) -> list[NodeId]:
         """All live node identifiers."""
@@ -269,9 +603,15 @@ class OverlayNetwork:
         leaf_size: int = 8,
         seed: int = 0,
         address_prefix: str = "node",
+        incremental: bool = True,
     ) -> "OverlayNetwork":
         """Construct an overlay of ``n_nodes`` with synthetic addresses."""
-        network = cls(base=base, leaf_size=leaf_size, rng=random.Random(seed))
+        network = cls(
+            base=base,
+            leaf_size=leaf_size,
+            rng=random.Random(seed),
+            incremental=incremental,
+        )
         for index in range(n_nodes):
             network.add_node(f"{address_prefix}-{index}")
         return network

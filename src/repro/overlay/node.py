@@ -42,10 +42,16 @@ class PastryNode:
         self.table.observe(other)
         self.leaves.observe(other)
 
-    def forget(self, failed: NodeId) -> None:
-        """Erase a failed node from all routing state."""
-        self.table.remove(failed)
-        self.leaves.remove(failed)
+    def forget(self, failed: NodeId) -> bool:
+        """Erase a failed node from all routing state.
+
+        Returns True if any state actually changed (callers today use
+        the removal for its side effect; the bool keeps the API honest
+        about whether the node was known at all).
+        """
+        lost_contact = self.table.remove(failed)
+        lost_leaf = self.leaves.remove(failed)
+        return lost_contact or lost_leaf
 
     # ------------------------------------------------------------------
     def route_step(self, key: NodeId) -> NodeId | None:

@@ -74,15 +74,17 @@ class RoutingTable:
         existing[col] = candidate
         return changed
 
-    def remove(self, failed: NodeId) -> None:
-        """Erase a failed node from its slot (self-healing hook)."""
+    def remove(self, failed: NodeId) -> bool:
+        """Erase a failed node from its slot; True if it was present."""
         slot = self.slot_for(failed)
         if slot is None:
-            return
+            return False
         row, col = slot
         bucket = self._rows.get(row)
         if bucket and bucket.get(col) == failed:
             del bucket[col]
+            return True
+        return False
 
     # ------------------------------------------------------------------
     def entry(self, row: int, col: int) -> NodeId | None:

@@ -171,6 +171,44 @@ DEGRADED_OVERLAY = register(
     )
 )
 
+CHURN_SCALE_SWEEP = register(
+    ScenarioSpec(
+        name="churn-scale-sweep",
+        description=(
+            "Scale probe for incremental churn: manager-targeted "
+            "crash/join waves at 512 and 1024 nodes over a wide "
+            "channel population — the CI perf baseline for "
+            "membership-change cost (its --json metrics and the "
+            "BENCH_timings artifacts are the regression reference)."
+        ),
+        n_nodes=512,
+        horizon=1800.0,
+        poll_tick=60.0,
+        bucket_width=300.0,
+        workload=WorkloadSpec(
+            n_channels=128,
+            n_subscriptions=1280,
+            update_interval_scale=0.05,
+        ),
+        events=(
+            ChurnWave(
+                at=300.0,
+                duration=600.0,
+                interval=60.0,
+                crashes_per_tick=2,
+                joins_per_tick=2,
+                target="managers",
+            ),
+            NodeCrash(at=1200.0, count=8, target="managers"),
+            NodeJoin(at=1260.0, count=8),
+        ),
+        variants={
+            "n512": {},
+            "n1024": {"n_nodes": 1024},
+        },
+    )
+)
+
 #: Names guaranteed registered, in narrative order (docs/tests).
 BUILTIN_NAMES = (
     "steady-state",
@@ -180,4 +218,5 @@ BUILTIN_NAMES = (
     "zipf-skew-sweep",
     "burst-publish",
     "degraded-overlay",
+    "churn-scale-sweep",
 )

@@ -331,9 +331,14 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
         elif isinstance(event, ChurnWave):
 
             def churn_tick(now: float, ev=event) -> None:
+                # One tick = one batched crash wave and one batched
+                # join wave (one aggregation repair each, not k).
                 if ev.crashes_per_tick and len(system.nodes) > 1:
                     system.crash_nodes(
-                        ev.crashes_per_tick, now=now, rng=churn_rng
+                        ev.crashes_per_tick,
+                        now=now,
+                        rng=churn_rng,
+                        target=ev.target,
                     )
                 if ev.joins_per_tick:
                     system.join_nodes(ev.joins_per_tick, now=now)

@@ -213,9 +213,12 @@ class ChurnWave:
     """Sustained churn: crashes and joins every ``interval`` seconds.
 
     From ``at`` until ``at + duration``, every tick fails
-    ``crashes_per_tick`` random nodes and joins ``joins_per_tick``
-    fresh ones — the membership treadmill structured overlays must
-    absorb.
+    ``crashes_per_tick`` nodes drawn from the ``target`` pool (same
+    semantics as :class:`NodeCrash` — ``"managers"`` aims every tick
+    at channel owners, the worst case for §3.3 state transfer) and
+    joins ``joins_per_tick`` fresh ones — the membership treadmill
+    structured overlays must absorb.  Each tick is one batched wave:
+    one overlay repair and one aggregation splice, not one per node.
     """
 
     kind: ClassVar[str] = "churn-wave"
@@ -225,6 +228,7 @@ class ChurnWave:
     interval: float = 60.0
     crashes_per_tick: int = 1
     joins_per_tick: int = 1
+    target: str = "any"
 
     def validate(self) -> None:
         if self.duration <= 0:
@@ -235,6 +239,10 @@ class ChurnWave:
             raise ScenarioSpecError("churn-wave rates cannot be negative")
         if self.crashes_per_tick == 0 and self.joins_per_tick == 0:
             raise ScenarioSpecError("churn-wave must crash or join nodes")
+        if self.target not in ("any", "managers", "bystanders"):
+            raise ScenarioSpecError(
+                "churn-wave target must be 'any', 'managers' or 'bystanders'"
+            )
 
 
 ScenarioEvent = Union[

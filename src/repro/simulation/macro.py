@@ -183,10 +183,11 @@ class MacroSimulator:
                     trace.update_intervals[index]
                 )
         self._channel_index = {url: i for i, url in enumerate(trace.urls)}
-        self.aggregator = DecentralizedAggregator(
-            tables=self.overlay.routing_tables(),
-            rows=self.overlay.aggregation_rows(),
-            bins=self.config.tradeoff_bins,
+        # The overlay's live routing-table view keeps the aggregator
+        # current without per-event re-materialization (same API the
+        # full system uses for incremental churn).
+        self.aggregator = DecentralizedAggregator.for_overlay(
+            self.overlay, bins=self.config.tradeoff_bins
         )
 
     def _prepare_updates(self) -> None:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.config import CoronaConfig
 from repro.core.system import CoronaSystem
-from repro.overlay.hashing import node_id_for_address
+from repro.overlay.hashing import channel_id, node_id_for_address
 from repro.simulation.webserver import WebServerFarm
 
 
@@ -196,3 +196,174 @@ class TestChurnEntryPoints:
             system.crash_nodes(-1, now=now)
         with pytest.raises(ValueError):
             system.crash_nodes(1, now=now, target="everyone")
+
+
+def _takeover_address(system, prefix="takeover"):
+    """Deterministically find an address whose node would win an anchor.
+
+    Walks minted addresses until one's identifier beats the current
+    manager's anchor key for at least one managed channel — the case
+    the add_node re-home path must handle.
+    """
+    for attempt in range(10_000):
+        address = f"{prefix}-{attempt}"
+        candidate = node_id_for_address(address)
+        if candidate in system.nodes:
+            continue
+        for url in system.managers:
+            cid = channel_id(url)
+            if system._anchor_key(candidate, cid) > system._anchor_index[url]:
+                return address
+    raise AssertionError("no takeover address found")
+
+
+class TestAnchorIndex:
+    """Regression tests for the add_node re-home path (anchor index)."""
+
+    def test_join_takeover_transfers_state_exactly_once(
+        self, running_system
+    ):
+        system, now = running_system
+        address = _takeover_address(system)
+        newcomer_id = node_id_for_address(address)
+        expected_moves = {
+            url
+            for url in system.managers
+            if system._anchor_key(newcomer_id, channel_id(url))
+            > system._anchor_index[url]
+        }
+        before = {
+            url: (
+                system.managers[url],
+                system.nodes[system.managers[url]].registry.count(url),
+            )
+            for url in expected_moves
+        }
+        joins_before = system.counters.joins
+        rehomed_before = system.counters.rehomed_channels
+        joined = system.add_node(address, now=now)
+        assert joined == newcomer_id
+        for url, (old_manager, count) in before.items():
+            # Exactly-once transfer: the newcomer holds every
+            # subscription, the previous manager none.
+            assert system.managers[url] == joined
+            assert system.nodes[joined].registry.count(url) == count
+            assert system.nodes[old_manager].registry.count(url) == 0
+            assert url not in system.nodes[old_manager].managed
+        # ...and only the channels the newcomer actually anchors moved.
+        for url, manager in system.managers.items():
+            if url not in expected_moves:
+                assert manager != joined
+        assert system.counters.joins == joins_before + 1
+        assert (
+            system.counters.rehomed_channels
+            == rehomed_before + len(expected_moves)
+        )
+
+    def test_anchor_index_tracks_every_manager(self, running_system):
+        """The index always mirrors managers and their true anchor keys."""
+        system, now = running_system
+        system.join_nodes(4, now=now)
+        system.crash_nodes(4, now=now)
+        assert set(system._anchor_index) >= set(system.managers)
+        for url, manager in system.managers.items():
+            cid = channel_id(url)
+            assert system._anchor_index[url] == system._anchor_key(
+                manager, cid
+            )
+            assert manager == system.overlay.anchor_of(cid)
+
+
+class TestReplicaStandIn:
+    """`fail_node` sources orphan state from the dying node's registry.
+
+    In a real deployment the new owner would fetch the subscription
+    set from the f surviving ring replicas (§3.3).  The synchronous
+    container's registries are replicated-by-construction — every
+    would-be replica holds an identical copy — so exporting from the
+    dying node is observationally equivalent, and subscriber counts
+    must survive any manager-targeted crash wave intact.
+    """
+
+    def test_manager_crash_wave_keeps_subscriber_counts(
+        self, running_system
+    ):
+        system, now = running_system
+        counts_before = {
+            url: system.nodes[manager].registry.count(url)
+            for url, manager in system.managers.items()
+        }
+        total_before = sum(counts_before.values())
+        victims = system.crash_nodes(
+            len(system.manager_nodes()), now=now, target="managers"
+        )
+        assert victims  # the wave actually hit managers
+        for url, manager in system.managers.items():
+            assert manager in system.nodes
+            assert (
+                system.nodes[manager].registry.count(url)
+                == counts_before[url]
+            )
+        total_after = sum(
+            node.registry.total_subscriptions()
+            for node in system.nodes.values()
+        )
+        assert total_after == total_before
+
+    def test_batched_wave_rehomes_channels_once(self, running_system):
+        """A wave killing successive anchors transfers each channel once."""
+        system, now = running_system
+        managed_urls = set(system.managers)
+        rehomed_before = system.counters.rehomed_channels
+        rehomed = system._fail_wave(
+            sorted(system.manager_nodes(), key=lambda n: n.value), now=now
+        )
+        # Every channel had its manager killed → re-homed exactly once.
+        assert rehomed == len(managed_urls)
+        assert (
+            system.counters.rehomed_channels == rehomed_before + rehomed
+        )
+
+
+class TestTargetPoolsAtScale:
+    """crash_nodes pool selection at the churn-scale-sweep population."""
+
+    @pytest.fixture(scope="class")
+    def big_system(self, request):
+        config = CoronaConfig(
+            polling_interval=300.0,
+            maintenance_interval=600.0,
+            base=4,
+            scheme="lite",
+        )
+        farm = WebServerFarm(seed=77)
+        system = CoronaSystem(
+            n_nodes=512, config=config, fetcher=farm, seed=77
+        )
+        client = 0
+        for rank in range(64):
+            url = f"http://scale{rank}.example/rss"
+            farm.host(url, update_interval=300.0, target_bytes=400)
+            for _ in range(4):
+                system.subscribe(url, f"client-{client}", now=0.0)
+                client += 1
+        return system
+
+    def test_manager_pool_selection_at_scale(self, big_system):
+        managers = big_system.manager_nodes()
+        victims = big_system.crash_nodes(16, now=1.0, target="managers")
+        assert len(victims) == 16
+        assert set(victims) <= managers
+        registered = sum(
+            big_system.nodes[manager].registry.count(url)
+            for url, manager in big_system.managers.items()
+        )
+        assert registered == 256  # 64 channels x 4 subscribers
+
+    def test_bystander_pool_selection_at_scale(self, big_system):
+        managers = big_system.manager_nodes()
+        rehomed_before = big_system.counters.rehomed_channels
+        victims = big_system.crash_nodes(32, now=2.0, target="bystanders")
+        assert len(victims) == 32
+        assert not set(victims) & managers
+        assert big_system.counters.rehomed_channels == rehomed_before

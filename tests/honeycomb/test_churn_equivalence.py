@@ -1,0 +1,246 @@
+"""Churn equivalence: incremental aggregation == from-scratch rebuild.
+
+The incremental churn paths splice joins and failures into existing
+aggregation state instead of reconstructing it.  The paper's
+correctness argument (§3.3) is that aggregation is self-repairing:
+every round recomputes each radius from the previous round's snapshot,
+so any membership event is fully absorbed within ``rows`` rounds.
+These tests assert the strong form of that claim: after *any* seeded
+sequence of joins and crashes, loading locals and running ``rows``
+rounds on the incrementally-maintained aggregator yields summaries
+**bit-for-bit identical** to a from-scratch rebuild driven the same
+way (dataclass equality compares every cluster sum exactly).
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import CoronaConfig
+from repro.core.system import CoronaSystem
+from repro.honeycomb.aggregation import DecentralizedAggregator
+from repro.honeycomb.clusters import ChannelFactors
+from repro.overlay.network import OverlayNetwork
+from repro.simulation.webserver import WebServerFarm
+
+
+def synthetic_channels(node_id):
+    """Deterministic per-node channel factors (some nodes own none)."""
+    value = node_id.value
+    if value % 3 == 0:
+        return []
+    return [
+        (
+            ChannelFactors(
+                subscribers=1 + value % 13,
+                size=100.0 + value % 900,
+                update_interval=60.0 * (1 + value % 7),
+                level=value % 4,
+            ),
+            value % 5 == 0,  # orphan flag
+            float(1 + value % 11),
+        )
+    ]
+
+
+def converged_states(aggregator, local_channels):
+    """Load locals and run ``rows`` rounds; return the states dict."""
+    aggregator.load_local(local_channels)
+    for _ in range(aggregator.rows):
+        aggregator.run_round()
+    return aggregator.states
+
+
+def assert_equivalent(incremental, overlay, local_channels):
+    """Incremental + rows rounds must equal rebuild + rows rounds."""
+    rebuilt = DecentralizedAggregator.for_overlay(
+        overlay, bins=incremental.bins
+    )
+    assert incremental.rows == rebuilt.rows
+    assert set(incremental.states) == set(rebuilt.states)
+    left = converged_states(incremental, local_channels)
+    right = converged_states(rebuilt, local_channels)
+    assert left == right  # dataclass equality: exact float sums
+
+
+class TestAggregatorChurnEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_randomized_join_crash_sequences(self, seed):
+        """Seeded random churn, checked against a rebuild at each step."""
+        rng = random.Random(seed)
+        overlay = OverlayNetwork.build(24, base=4, leaf_size=3, seed=seed)
+        aggregator = DecentralizedAggregator.for_overlay(overlay, bins=8)
+        minted = 0
+        for step in range(12):
+            if rng.random() < 0.5 and len(overlay) > 4:
+                count = rng.randint(1, min(3, len(overlay) - 4))
+                victims = rng.sample(overlay.node_ids(), count)
+                overlay.remove_nodes(victims)
+                aggregator.remove_nodes(
+                    victims, rows=overlay.aggregation_rows()
+                )
+            else:
+                count = rng.randint(1, 3)
+                joined = []
+                for _ in range(count):
+                    minted += 1
+                    joined.append(
+                        overlay.add_node(f"eq-{seed}-{minted}").node_id
+                    )
+                aggregator.add_nodes(
+                    joined, rows=overlay.aggregation_rows()
+                )
+            if step % 3 == 2:
+                assert_equivalent(aggregator, overlay, synthetic_channels)
+        assert_equivalent(aggregator, overlay, synthetic_channels)
+
+    def test_equivalence_holds_with_interleaved_rounds(self):
+        """Running rounds *between* churn events must not break it."""
+        overlay = OverlayNetwork.build(20, base=4, leaf_size=3, seed=9)
+        aggregator = DecentralizedAggregator.for_overlay(overlay, bins=8)
+        rng = random.Random(9)
+        for index in range(6):
+            aggregator.load_local(synthetic_channels)
+            aggregator.run_round()
+            victim = rng.choice(overlay.node_ids())
+            overlay.remove_nodes([victim])
+            aggregator.remove_nodes([victim], rows=overlay.aggregation_rows())
+            joined = overlay.add_node(f"mid-{index}").node_id
+            aggregator.add_nodes([joined], rows=overlay.aggregation_rows())
+        assert_equivalent(aggregator, overlay, synthetic_channels)
+
+
+class TestHorizonTrimming:
+    """Survivors keep summaries of untouched prefix regions only."""
+
+    def test_removal_trims_only_the_changed_region(self):
+        overlay = OverlayNetwork.build(16, base=4, leaf_size=3, seed=3)
+        aggregator = DecentralizedAggregator.for_overlay(overlay, bins=8)
+        states = converged_states(aggregator, synthetic_channels)
+        victim = overlay.node_ids()[5]
+        spl = {
+            node_id: node_id.shared_prefix_len(victim, overlay.base)
+            for node_id in overlay.node_ids()
+            if node_id != victim
+        }
+        rows_before = aggregator.rows
+        overlay.remove_nodes([victim])
+        aggregator.remove_nodes([victim])
+        assert victim not in aggregator.states
+        for node_id, prefix in spl.items():
+            state = states[node_id]
+            for radius in range(rows_before + 1):
+                present = radius in state.summaries
+                if radius <= min(prefix, rows_before - 1):
+                    assert not present, (
+                        f"radius {radius} of {node_id} covered the victim "
+                        "and must be dropped"
+                    )
+                elif radius >= rows_before or radius > prefix:
+                    # untouched region (or the local summary): kept
+                    assert present
+
+    def test_join_trims_only_the_changed_region(self):
+        overlay = OverlayNetwork.build(16, base=4, leaf_size=3, seed=4)
+        aggregator = DecentralizedAggregator.for_overlay(overlay, bins=8)
+        converged_states(aggregator, synthetic_channels)
+        rows_before = aggregator.rows
+        joined = overlay.add_node("trim-joiner").node_id
+        aggregator.add_nodes([joined])
+        assert aggregator.states[joined].summaries == {}
+        for node_id, state in aggregator.states.items():
+            if node_id == joined:
+                continue
+            prefix = node_id.shared_prefix_len(joined, overlay.base)
+            for radius in range(rows_before + 1):
+                present = radius in state.summaries
+                if radius <= min(prefix, rows_before - 1):
+                    assert not present
+                elif radius >= rows_before or radius > prefix:
+                    assert present
+
+    def test_add_existing_node_rejected(self):
+        overlay = OverlayNetwork.build(4, base=4, leaf_size=2, seed=0)
+        aggregator = DecentralizedAggregator.for_overlay(overlay, bins=8)
+        with pytest.raises(ValueError):
+            aggregator.add_nodes([overlay.node_ids()[0]])
+
+    def test_remove_unknown_node_rejected(self):
+        overlay = OverlayNetwork.build(4, base=4, leaf_size=2, seed=0)
+        aggregator = DecentralizedAggregator.for_overlay(overlay, bins=8)
+        ghost = overlay.add_node("ghost").node_id
+        overlay.remove_nodes([ghost])
+        aggregator_fresh = DecentralizedAggregator.for_overlay(overlay)
+        with pytest.raises(KeyError):
+            aggregator_fresh.remove_nodes([ghost])
+
+    def test_set_rows_rekeys_local_summaries(self):
+        overlay = OverlayNetwork.build(8, base=4, leaf_size=2, seed=1)
+        aggregator = DecentralizedAggregator.for_overlay(overlay, bins=8)
+        aggregator.load_local(synthetic_channels)
+        rows = aggregator.rows
+        locals_before = {
+            node_id: state.summaries[rows]
+            for node_id, state in aggregator.states.items()
+        }
+        aggregator.set_rows(rows + 2)
+        for node_id, state in aggregator.states.items():
+            assert state.rows == rows + 2
+            assert state.summaries == {rows + 2: locals_before[node_id]}
+
+
+class TestSystemChurnEquivalence:
+    """The full system's live aggregator stays rebuild-equivalent."""
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_system_aggregator_matches_rebuild_after_churn(
+        self, seed, fast_config
+    ):
+        farm = WebServerFarm(seed=seed)
+        system = CoronaSystem(
+            n_nodes=32, config=fast_config, fetcher=farm, seed=seed
+        )
+        client = 0
+        for rank in range(8):
+            url = f"http://eq{rank}.example/rss"
+            farm.host(url, update_interval=120.0, target_bytes=500)
+            for _ in range(6):
+                system.subscribe(url, f"client-{client}", now=0.0)
+                client += 1
+        rng = random.Random(seed)
+        now = 0.0
+        for step in range(6):
+            now += 60.0
+            system.crash_nodes(rng.randint(1, 2), now=now, rng=rng)
+            system.join_nodes(rng.randint(1, 2), now=now)
+            if step % 2 == 1:
+                system.run_maintenance_round(now)
+        def local_channels(node_id):
+            return system.nodes[node_id].local_factors()
+
+        assert_equivalent(system.aggregator, system.overlay, local_channels)
+
+    def test_rebuild_mode_system_behaves(self, fast_config):
+        """The retained rebuild path still transfers state correctly."""
+        farm = WebServerFarm(seed=2)
+        system = CoronaSystem(
+            n_nodes=24,
+            config=fast_config,
+            fetcher=farm,
+            seed=2,
+            incremental_churn=False,
+        )
+        for rank in range(6):
+            url = f"http://legacy{rank}.example/rss"
+            farm.host(url, update_interval=120.0, target_bytes=500)
+            for client in range(5):
+                system.subscribe(url, f"c{rank}-{client}", now=0.0)
+        total = 30
+        system.crash_nodes(4, now=10.0, target="managers")
+        system.join_nodes(3, now=20.0)
+        registered = sum(
+            system.nodes[manager].registry.count(url)
+            for url, manager in system.managers.items()
+        )
+        assert registered == total
+        assert set(system.aggregator.states) == set(system.nodes)
