@@ -12,6 +12,11 @@ from repro.core.config import CoronaConfig
 from repro.diffengine.differ import diff_lines
 from repro.diffengine.extractor import extract_core_lines
 from repro.feeds.generator import FeedGenerator
+from repro.honeycomb.clusters import (
+    ChannelFactors,
+    ClusterSummary,
+    ObjectClusterSummary,
+)
 from repro.overlay.dag import dissemination_tree
 from repro.overlay.hashing import channel_id
 from repro.overlay.network import OverlayNetwork
@@ -63,6 +68,74 @@ def test_micro_poll_path(benchmark):
 
     delta = benchmark(poll_path)
     assert not delta.is_empty
+
+
+def _populate_summaries(cls, count: int = 17) -> list:
+    """``count`` summaries shaped like one node's aggregation inputs."""
+    summaries = []
+    for rank in range(count):
+        summary = cls(bins=16)
+        for member in range(24):
+            summary.add_channel(
+                ChannelFactors(
+                    subscribers=1.0 + (rank * 31 + member) % 50,
+                    size=200.0 + member * 37,
+                    update_interval=60.0 * (1 + member % 9),
+                    level=member % 4,
+                ),
+                orphan=member % 11 == 0,
+                ratio=float(1 + (rank + member) % 13),
+            )
+        summaries.append(summary)
+    return summaries
+
+
+def _merge_kernel(summaries) -> float:
+    """Fold all summaries into one (the aggregation merge hot loop)."""
+    target = summaries[0].copy()
+    for summary in summaries[1:]:
+        target.merge(summary)
+    return target.total_channels()
+
+
+def _round_kernel(summaries, fanout: int = 16, radii: int = 3) -> int:
+    """The inner shape of one node's run_round: per radius, copy the
+    inner summary and merge one contribution per routing contact."""
+    folded = 0
+    for radius in range(radii):
+        combined = summaries[radius].copy()
+        for contact in range(fanout):
+            combined.merge(summaries[(radius + contact) % len(summaries)])
+            folded += 1
+    return folded
+
+
+def test_micro_summary_merge_flat(benchmark):
+    """Flat-array ClusterSummary merge (the production representation)."""
+    summaries = _populate_summaries(ClusterSummary)
+    total = benchmark(lambda: _merge_kernel(summaries))
+    assert total == 17 * 24 - sum(1 for m in range(24) if m % 11 == 0) * 17
+
+
+def test_micro_summary_merge_objects(benchmark):
+    """Dict-of-objects merge (the pre-flat reference representation)."""
+    summaries = _populate_summaries(ObjectClusterSummary)
+    total = benchmark(lambda: _merge_kernel(summaries))
+    assert total == 17 * 24 - sum(1 for m in range(24) if m % 11 == 0) * 17
+
+
+def test_micro_round_kernel_flat(benchmark):
+    """run_round's copy+merge inner loop on flat arrays."""
+    summaries = _populate_summaries(ClusterSummary)
+    folded = benchmark(lambda: _round_kernel(summaries))
+    assert folded == 48
+
+
+def test_micro_round_kernel_objects(benchmark):
+    """run_round's copy+merge inner loop on the object-dict reference."""
+    summaries = _populate_summaries(ObjectClusterSummary)
+    folded = benchmark(lambda: _round_kernel(summaries))
+    assert folded == 48
 
 
 def test_micro_control_round(benchmark):

@@ -70,6 +70,7 @@ class CoronaSystem:
         seed: int = 0,
         notifier: Callable[[str, Iterable[str], Diff, float], None] | None = None,
         incremental_churn: bool = True,
+        delta_rounds: bool = True,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
@@ -79,6 +80,12 @@ class CoronaSystem:
         #: aggregator rebuild + anchor rescan per membership event,
         #: sampled overlay repair) — the benchmarks' rebuild reference.
         self.incremental_churn = incremental_churn
+        #: False restores the eager aggregation sweep (every node
+        #: reloads its local summary and recomputes every radius every
+        #: round) — the round-delta benchmark's reference.  Metrics are
+        #: bit-identical between the modes; only the work performed
+        #: differs.
+        self.delta_rounds = delta_rounds
         self.overlay = OverlayNetwork.build(
             n_nodes,
             base=config.base,
@@ -93,7 +100,9 @@ class CoronaSystem:
             for node_id in self.overlay.node_ids()
         }
         self.aggregator = DecentralizedAggregator.for_overlay(
-            self.overlay, bins=config.tradeoff_bins
+            self.overlay,
+            bins=config.tradeoff_bins,
+            delta_rounds=delta_rounds,
         )
         self.managers: dict[str, NodeId] = {}
         self.counters = SystemCounters()
@@ -119,6 +128,7 @@ class CoronaSystem:
         """Route a subscription to the channel's manager; returns it."""
         manager_id = self._manager_for(url, now)
         self.nodes[manager_id].subscribe(url, client, now)
+        self.aggregator.mark_local_dirty(manager_id)
         return manager_id
 
     def unsubscribe(self, url: str, client: str) -> bool:
@@ -126,7 +136,10 @@ class CoronaSystem:
         manager_id = self.managers.get(url)
         if manager_id is None:
             return False
-        return self.nodes[manager_id].unsubscribe(url, client)
+        removed = self.nodes[manager_id].unsubscribe(url, client)
+        if removed:
+            self.aggregator.mark_local_dirty(manager_id)
+        return removed
 
     def _cid(self, url: str) -> NodeId:
         cid = self._channel_cids.get(url)
@@ -262,6 +275,9 @@ class CoronaSystem:
         adopted.stats.subscribers = node.registry.count(url)
         self.managers[url] = new_manager
         self._anchor_index[url] = self._anchor_key(new_manager, cid)
+        # Both ends of the transfer now own a different channel set.
+        self.aggregator.mark_local_dirty(previous_id)
+        self.aggregator.mark_local_dirty(new_manager)
 
     def fail_node(self, node_id: NodeId, now: float = 0.0) -> int:
         """Fail one node; re-home its channels with their subscriptions.
@@ -330,6 +346,7 @@ class CoronaSystem:
         channel.stats.subscribers = node.registry.count(url)
         self.managers[url] = anchor
         self._anchor_index[url] = self._anchor_key(anchor, cid)
+        self.aggregator.mark_local_dirty(anchor)
 
     def _fail_single_rebuild(self, node_id: NodeId, now: float) -> int:
         """The pre-incremental failure path (rebuild reference)."""
@@ -362,6 +379,7 @@ class CoronaSystem:
             rows=self.overlay.aggregation_rows(),
             bins=self.config.tradeoff_bins,
             base=self.config.base,
+            delta_rounds=self.delta_rounds,
         )
 
     def manager_nodes(self) -> set[NodeId]:
@@ -431,6 +449,24 @@ class CoronaSystem:
     # ------------------------------------------------------------------
     # protocol rounds
     # ------------------------------------------------------------------
+    def run_aggregation_phase(self) -> None:
+        """Refresh local summaries and run the two aggregation hops.
+
+        With ``delta_rounds`` only the nodes whose channel factors
+        changed since the previous phase rebuild their local summary
+        (the facade marks them dirty on every factor-moving event), and
+        each round recomputes only the radii whose epoch triggers
+        fired; the eager mode reloads and recomputes everything.  Both
+        produce bit-identical summaries — two rounds per phase because
+        summaries ride the maintenance messages and again on their
+        responses (§3.3).
+        """
+        self.aggregator.refresh_locals(
+            lambda node_id: self.nodes[node_id].local_factors()
+        )
+        self.aggregator.run_round()
+        self.aggregator.run_round()
+
     def run_maintenance_round(self, now: float) -> int:
         """One full optimization + maintenance + aggregation round.
 
@@ -440,13 +476,7 @@ class CoronaSystem:
         and steps levels, and the resulting announcements are flooded
         through the wedges.
         """
-        self.aggregator.load_local(
-            lambda node_id: self.nodes[node_id].local_factors()
-        )
-        # Two aggregation hops per phase: summaries ride the
-        # maintenance messages and again on their responses (§3.3).
-        self.aggregator.run_round()
-        self.aggregator.run_round()
+        self.run_aggregation_phase()
         sent = 0
         n_nodes = len(self.overlay)
         for node_id, node in self.nodes.items():
@@ -454,7 +484,24 @@ class CoronaSystem:
                 continue
             remote = self.aggregator.states[node_id].best_remote()
             node.run_optimization(remote, n_nodes)
-            for msg in node.run_maintenance(now):
+            if self.delta_rounds:
+                # Level moves change the factors this node aggregates;
+                # the next phase must rebuild its local summary.  (The
+                # eager reference reloads everyone wholesale, so the
+                # tracking would be dead weight on the reference path.)
+                levels_before = {
+                    url: channel.level
+                    for url, channel in node.managed.items()
+                }
+                msgs = node.run_maintenance(now)
+                if any(
+                    channel.level != levels_before.get(url)
+                    for url, channel in node.managed.items()
+                ):
+                    self.aggregator.mark_local_dirty(node_id)
+            else:
+                msgs = node.run_maintenance(now)
+            for msg in msgs:
                 sent += self._flood_maintenance(node_id, msg, now)
         self.counters.maintenance_messages += sent
         return sent
@@ -536,6 +583,10 @@ class CoronaSystem:
             self.counters.redundant_diffs = self.nodes[
                 manager_id
             ].redundant_diffs
+        if event is not None and manager_id is not None:
+            # A fresh detection advanced the manager's interval/size
+            # estimators — its local summary must be rebuilt.
+            self.aggregator.mark_local_dirty(manager_id)
         return event
 
     # ------------------------------------------------------------------

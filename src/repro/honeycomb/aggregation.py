@@ -24,6 +24,32 @@ The simulators drive this with explicit rounds so that the propagation
 delay of global knowledge — and the transient mis-allocation it causes
 (paper Figure 3's brief overshoot) — is reproduced rather than assumed
 away.
+
+Delta-driven rounds
+-------------------
+The recursion above makes each radius a pure function of the previous
+round's radius-``r+1`` summaries, so a converged system recomputes the
+same values forever.  The default ``delta_rounds`` mode therefore
+stamps every per-radius summary with the epoch (round clock) at which
+its *value* last changed, and a node rebuilds radius ``r`` only when
+its own radius-``r+1`` epoch or some row-``r`` contact's radius-``r+1``
+epoch advanced since the node last built ``r`` (or the radius is
+missing outright — after churn trimmed it).  Rebuilds read the
+previous round's values and are committed after the sweep (a double
+buffer), preserving the one-maintenance-interval staleness of
+piggy-backed aggregation data bit for bit: a skipped radius is exactly
+the value the eager recomputation would have produced, and dirt still
+propagates one prefix digit per round.  A fully converged round does
+no summary work at all.  ``delta_rounds=False`` retains the original
+recompute-everything sweep as the benchmark reference
+(``benchmarks/test_round_delta.py`` gates the speedup).
+
+Both modes maintain the same :class:`AggregationWork` counters, which
+deliberately count *value changes* rather than raw recomputation —
+the two modes must report identical numbers on identical runs (the
+delta-round equivalence suite asserts this), which makes the counters
+a deterministic CI gate for "work the protocol caused" that is
+independent of how cleverly the round is executed.
 """
 
 from __future__ import annotations
@@ -31,9 +57,36 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 
-from repro.honeycomb.clusters import ChannelFactors, ClusterSummary
+from repro.honeycomb.clusters import ClusterSummary
 from repro.overlay.nodeid import NodeId
 from repro.overlay.routing import RoutingTable
+
+
+@dataclass
+class AggregationWork:
+    """Deterministic value-change counters for aggregation rounds.
+
+    ``summaries_rebuilt`` counts per-radius (and local) summaries whose
+    committed value actually changed; ``cluster_merges`` counts the
+    contact contributions folded into those changed builds;
+    ``nodes_dirtied`` accumulates, per round (and per local-load pass),
+    the number of nodes with at least one changed summary.  All three
+    are identical between ``delta_rounds`` and the eager reference on
+    the same run — they measure change flowing through the system, not
+    instructions executed — so scenario baselines can gate on them
+    exactly while wall-clock timings stay report-only.
+    """
+
+    summaries_rebuilt: int = 0
+    cluster_merges: int = 0
+    nodes_dirtied: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "summaries_rebuilt": self.summaries_rebuilt,
+            "cluster_merges": self.cluster_merges,
+            "nodes_dirtied": self.nodes_dirtied,
+        }
 
 
 @dataclass
@@ -43,6 +96,14 @@ class AggregationState:
     ``summaries[r]`` approximates the channels owned by nodes sharing
     ``r`` prefix digits with this node; radius ``rows`` (= digits) is
     the node's own channels, radius 0 is the whole system.
+
+    The trailing fields are delta-round bookkeeping (excluded from
+    equality, which compares protocol state only): ``changed[r]`` is
+    the round clock at which the radius-``r`` summary pair last changed
+    value (or was dropped by churn trimming), ``built[r]`` the clock at
+    which this node last rebuilt radius ``r``, and ``complete[r]``
+    whether that rebuild saw contributions from every row-``r``
+    contact.
     """
 
     node_id: NodeId
@@ -53,6 +114,9 @@ class AggregationState:
     #: local optimizer combines fine-grained own-channel data with
     #: ``remote[0]`` so nothing is counted twice.
     remote: dict[int, ClusterSummary] = field(default_factory=dict)
+    changed: dict[int, int] = field(default_factory=dict, compare=False)
+    built: dict[int, int] = field(default_factory=dict, compare=False)
+    complete: dict[int, bool] = field(default_factory=dict, compare=False)
 
     def local_summary(self) -> ClusterSummary:
         """The radius-``rows`` summary: this node's own channels."""
@@ -61,7 +125,7 @@ class AggregationState:
         )
 
     def set_local(self, summary: ClusterSummary) -> None:
-        """Replace the own-channel summary (rebuilt each round)."""
+        """Replace the own-channel summary (rebuilt on factor changes)."""
         self.summaries[self.rows] = summary
         self.remote[self.rows] = ClusterSummary(bins=self.bins)
 
@@ -90,8 +154,11 @@ class DecentralizedAggregator:
     """Runs aggregation rounds across a population of nodes.
 
     ``local_channels`` supplies, per node, the factors of the channels
-    that node currently owns; each round rebuilds radius-``K``
-    summaries from it and extends every node's horizon one digit.
+    that node currently owns; :meth:`load_local` rebuilds
+    radius-``rows`` summaries from it (all nodes, or just the ones
+    marked dirty via :meth:`mark_local_dirty` — see
+    :meth:`load_dirty_locals`) and :meth:`run_round` extends horizons
+    one digit.
 
     Churn is handled **incrementally** (paper §3.3): a joining or
     failing node is spliced into/out of ``states`` in place via
@@ -99,12 +166,16 @@ class DecentralizedAggregator:
     summary whose prefix region the event did not touch.  Their
     horizons shrink only where membership actually changed — matching
     the protocol's one-interval staleness — and because every round
-    recomputes each radius from the previous round's snapshot, the
+    recomputes each stale radius from the previous round's values, the
     spliced state reconverges to exactly what a from-scratch rebuild
     would compute within ``rows`` rounds (the churn-equivalence test
     suite asserts this bit for bit).  ``tables`` should be a live view
     (see :meth:`repro.overlay.network.OverlayNetwork.routing_tables`)
-    so membership changes never require re-materializing it.
+    so membership changes never require re-materializing it; with
+    ``delta_rounds`` the tables must only change through
+    :meth:`add_nodes`/:meth:`remove_nodes` events (the epoch stamps
+    learn about contact changes from the horizon trimming those
+    perform).
     """
 
     def __init__(
@@ -113,6 +184,7 @@ class DecentralizedAggregator:
         rows: int,
         bins: int = 16,
         base: int | None = None,
+        delta_rounds: bool = True,
     ) -> None:
         self.tables = tables
         self.rows = rows
@@ -122,19 +194,36 @@ class DecentralizedAggregator:
                 (table.base for table in tables.values()), 16
             )
         self.base = base
+        self.delta_rounds = delta_rounds
         self.states: dict[NodeId, AggregationState] = {
             node_id: AggregationState(node_id=node_id, rows=rows, bins=bins)
             for node_id in tables
         }
+        self.work = AggregationWork()
+        #: Monotone round clock the delta epoch stamps are drawn from.
+        self._clock = 0
+        #: Nodes whose owned-channel factors changed since their local
+        #: summary was last rebuilt.  Everyone starts dirty so the
+        #: first load covers the whole population.
+        self._dirty_local: set[NodeId] = set(self.states)
+        #: True when the previous round committed nothing and rebuilt
+        #: nothing — the next delta round is then a guaranteed no-op.
+        self._quiescent = False
+        #: Scratch summaries recycled across delta rebuilds whose
+        #: result turned out unchanged (bounded pool).
+        self._scratch: list[ClusterSummary] = []
 
     @classmethod
-    def for_overlay(cls, overlay, bins: int = 16) -> "DecentralizedAggregator":
+    def for_overlay(
+        cls, overlay, bins: int = 16, delta_rounds: bool = True
+    ) -> "DecentralizedAggregator":
         """Build over an overlay's live routing-table view."""
         return cls(
             tables=overlay.routing_tables(),
             rows=overlay.aggregation_rows(),
             bins=bins,
             base=overlay.base,
+            delta_rounds=delta_rounds,
         )
 
     # ------------------------------------------------------------------
@@ -160,6 +249,8 @@ class DecentralizedAggregator:
             self.states[node_id] = AggregationState(
                 node_id=node_id, rows=self.rows, bins=self.bins
             )
+            self._dirty_local.add(node_id)
+        self._quiescent = False
         self._trim_changed_regions(joined, skip=set(joined))
         if rows is not None:
             self.set_rows(rows)
@@ -180,6 +271,8 @@ class DecentralizedAggregator:
                 raise KeyError(f"node {node_id!r} not aggregated")
         for node_id in victims:
             del self.states[node_id]
+            self._dirty_local.discard(node_id)
+        self._quiescent = False
         self._trim_changed_regions(victims, skip=frozenset())
         if rows is not None:
             self.set_rows(rows)
@@ -193,7 +286,10 @@ class DecentralizedAggregator:
         ``r`` prefix digits with it; a membership event at shared
         prefix ``p`` therefore staled exactly the radii ``r <= p``.
         The local (radius-``rows``) summary is never dropped — it is
-        rebuilt from owned channels every round regardless.
+        rebuilt from owned channels when the owner's factors change.
+        Every dropped radius is epoch-stamped so delta rounds at the
+        dependents (radius ``r-1`` here and at nodes holding this one
+        as a row-``r-1`` contact) rebuild from the trimmed state.
         """
         if not changed:
             return
@@ -208,8 +304,12 @@ class DecentralizedAggregator:
                 for node_id in changed
             )
             for radius in range(horizon, min(deepest, state.rows - 1) + 1):
-                state.summaries.pop(radius, None)
+                dropped = state.summaries.pop(radius, None)
                 state.remote.pop(radius, None)
+                state.built.pop(radius, None)
+                state.complete.pop(radius, None)
+                if dropped is not None:
+                    self._stamp(state, radius)
 
     def set_rows(self, rows: int) -> None:
         """Adjust the aggregation depth after a collision-depth change.
@@ -221,34 +321,111 @@ class DecentralizedAggregator:
         """
         if rows == self.rows:
             return
+        self._quiescent = False
         for state in self.states.values():
             local = state.summaries.get(state.rows)
             local_remote = state.remote.get(state.rows)
             state.summaries = {} if local is None else {rows: local}
             state.remote = {} if local_remote is None else {rows: local_remote}
             state.rows = rows
+            # All other radii are gone (absent radii always rebuild),
+            # so only the re-keyed local needs a fresh epoch stamp for
+            # the dependents' triggers; stale build records go with it.
+            state.changed = {rows: self._clock}
+            state.built = {}
+            state.complete = {}
         self.rows = rows
 
+    def _stamp(self, state: AggregationState, radius: int) -> None:
+        """Record a value change of ``radius`` at the current clock."""
+        state.changed[radius] = self._clock
+        self._quiescent = False
+
     # ------------------------------------------------------------------
+    # local summaries
+    # ------------------------------------------------------------------
+    def mark_local_dirty(self, node_id: NodeId) -> None:
+        """Flag a node whose owned-channel factors changed.
+
+        The drivers call this on every event that can move a factor a
+        local summary is built from — subscribe/unsubscribe, channel
+        re-homes, detected updates (interval/size estimators), level
+        steps — so :meth:`load_dirty_locals` touches only those nodes.
+        """
+        if node_id in self.states:
+            self._dirty_local.add(node_id)
+
     def load_local(
         self,
         local_channels: Callable[[NodeId], list],
+        node_ids: Iterable[NodeId] | None = None,
     ) -> None:
-        """Rebuild every node's own-channel summary.
+        """Rebuild own-channel summaries (all nodes, or ``node_ids``).
 
         ``local_channels(node)`` yields ``(factors, is_orphan)`` or
         ``(factors, is_orphan, binning_ratio)`` tuples for the channels
         the node owns; the optional ratio is the scheme-specific f/g
-        metric channels are clustered by.
+        metric channels are clustered by.  A rebuilt summary equal in
+        value to the stored one is discarded (no epoch advance), which
+        is what lets delta rounds quiesce even though the eager driver
+        reloads every node every round.
         """
-        for node_id, state in self.states.items():
+        if node_ids is None:
+            targets = list(self.states)
+            self._dirty_local.clear()
+        else:
+            targets = [nid for nid in node_ids if nid in self.states]
+            self._dirty_local.difference_update(targets)
+        dirtied = 0
+        for node_id in targets:
+            state = self.states[node_id]
             summary = ClusterSummary(bins=self.bins)
             for entry in local_channels(node_id):
                 factors, orphan = entry[0], entry[1]
                 ratio = entry[2] if len(entry) > 2 else None
                 summary.add_channel(factors, orphan=orphan, ratio=ratio)
-            state.set_local(summary)
+            if self._install_local(state, summary):
+                dirtied += 1
+        self.work.nodes_dirtied += dirtied
 
+    def load_dirty_locals(
+        self, local_channels: Callable[[NodeId], list]
+    ) -> None:
+        """Rebuild locals only for nodes marked dirty since last load."""
+        if not self._dirty_local:
+            return
+        order = sorted(self._dirty_local, key=lambda node_id: node_id.value)
+        self.load_local(local_channels, node_ids=order)
+
+    def refresh_locals(
+        self, local_channels: Callable[[NodeId], list]
+    ) -> None:
+        """Reload local summaries the way the active round mode needs.
+
+        One dispatch point for every driver: delta rounds touch only
+        the dirty set, the eager reference reloads the population.
+        """
+        if self.delta_rounds:
+            self.load_dirty_locals(local_channels)
+        else:
+            self.load_local(local_channels)
+
+    def _install_local(
+        self, state: AggregationState, summary: ClusterSummary
+    ) -> bool:
+        """Commit a rebuilt local summary; returns True if it changed."""
+        changed = state.summaries.get(state.rows) != summary
+        if changed:
+            state.set_local(summary)
+            self.work.summaries_rebuilt += 1
+            self._stamp(state, state.rows)
+        elif state.rows not in state.remote:
+            state.remote[state.rows] = ClusterSummary(bins=self.bins)
+        return changed
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
     def run_round(self) -> None:
         """One aggregation round: every node widens its horizon by one.
 
@@ -257,8 +434,18 @@ class DecentralizedAggregator:
         its row-``r`` contacts.  We compute one new radius per round
         from the *previous* round's state, which models the one
         maintenance-interval staleness of piggy-backed aggregation
-        data.
+        data.  ``delta_rounds`` skips every radius whose inputs did not
+        change since the node last built it (see module docstring); the
+        eager sweep recomputes everything.
         """
+        if self.delta_rounds:
+            self._run_round_delta()
+        else:
+            self._run_round_eager()
+
+    def _run_round_eager(self) -> None:
+        """The original recompute-everything sweep (reference path)."""
+        self._clock += 1
         snapshot: dict[NodeId, dict[int, ClusterSummary]] = {
             node_id: dict(state.summaries)
             for node_id, state in self.states.items()
@@ -267,9 +454,12 @@ class DecentralizedAggregator:
             node_id: dict(state.remote)
             for node_id, state in self.states.items()
         }
+        work = self.work
+        dirtied = 0
         for node_id, state in self.states.items():
             table = self.tables[node_id]
             known = snapshot[node_id]
+            node_changed = False
             for radius in range(self.rows - 1, -1, -1):
                 inner = known.get(radius + 1)
                 if inner is None:
@@ -280,6 +470,7 @@ class DecentralizedAggregator:
                 combined = inner.copy()
                 combined_remote = inner_remote.copy()
                 complete = True
+                merges = 0
                 for contact in table.row(radius).values():
                     contribution = snapshot.get(contact, {}).get(radius + 1)
                     if contribution is None:
@@ -287,6 +478,14 @@ class DecentralizedAggregator:
                         continue
                     combined.merge(contribution)
                     combined_remote.merge(contribution)
+                    merges += 1
+                if (
+                    state.summaries.get(radius) != combined
+                    or state.remote.get(radius) != combined_remote
+                ):
+                    work.summaries_rebuilt += 1
+                    work.cluster_merges += merges
+                    node_changed = True
                 state.summaries[radius] = combined
                 state.remote[radius] = combined_remote
                 if not complete:
@@ -294,6 +493,120 @@ class DecentralizedAggregator:
                     # do not build wider radii on incomplete data this
                     # round; they would systematically undercount.
                     break
+            if node_changed:
+                dirtied += 1
+        work.nodes_dirtied += dirtied
+
+    def _run_round_delta(self) -> None:
+        """Epoch-driven sweep: rebuild only radii whose inputs moved.
+
+        Walks every node's radii exactly like the eager sweep (same
+        break conditions, same contribution order, reading only
+        pre-round values) but rebuilds a radius only when its epoch
+        trigger fires; rebuilt pairs are committed after the sweep so
+        within-round reads stay double-buffered.  A rebuild whose value
+        did not change keeps the stored objects and advances no epoch,
+        so change waves die out exactly as fast as the values converge.
+        """
+        self._clock += 1
+        if self._quiescent:
+            return
+        clock = self._clock
+        states = self.states
+        get_state = states.get
+        empty = ClusterSummary(bins=self.bins)
+        commits: list[
+            tuple[AggregationState, int, ClusterSummary, ClusterSummary, int]
+        ] = []
+        built_any = False
+        for node_id, state in states.items():
+            table = self.tables[node_id]
+            summaries = state.summaries
+            remote = state.remote
+            changed_map = state.changed
+            built_map = state.built
+            for radius in range(self.rows - 1, -1, -1):
+                inner = summaries.get(radius + 1)
+                if inner is None:
+                    break  # cannot widen past a missing inner radius
+                row = table.row(radius)
+                built_at = built_map.get(radius, -1)
+                need = (
+                    radius not in summaries
+                    or changed_map.get(radius + 1, -1) >= built_at
+                )
+                if not need:
+                    for contact in row.values():
+                        contact_state = get_state(contact)
+                        if (
+                            contact_state is not None
+                            and contact_state.changed.get(radius + 1, -1)
+                            >= built_at
+                        ):
+                            need = True
+                            break
+                if not need:
+                    if not state.complete.get(radius, True):
+                        break  # the eager sweep would stop here too
+                    continue
+                built_any = True
+                inner_remote = remote.get(radius + 1)
+                combined = self._borrow(inner)
+                combined_remote = self._borrow(
+                    empty if inner_remote is None else inner_remote
+                )
+                complete = True
+                merges = 0
+                for contact in row.values():
+                    contact_state = get_state(contact)
+                    contribution = (
+                        None
+                        if contact_state is None
+                        else contact_state.summaries.get(radius + 1)
+                    )
+                    if contribution is None:
+                        complete = False
+                        continue
+                    combined.merge(contribution)
+                    combined_remote.merge(contribution)
+                    merges += 1
+                built_map[radius] = clock
+                state.complete[radius] = complete
+                commits.append(
+                    (state, radius, combined, combined_remote, merges)
+                )
+                if not complete:
+                    break
+        work = self.work
+        dirtied: set[NodeId] = set()
+        for state, radius, combined, combined_remote, merges in commits:
+            if (
+                state.summaries.get(radius) == combined
+                and state.remote.get(radius) == combined_remote
+            ):
+                # Value-identical rebuild: keep the stored objects, no
+                # epoch advance, recycle the buffers.
+                if len(self._scratch) < 32:
+                    self._scratch.append(combined)
+                    self._scratch.append(combined_remote)
+                continue
+            state.summaries[radius] = combined
+            state.remote[radius] = combined_remote
+            self._stamp(state, radius)
+            work.summaries_rebuilt += 1
+            work.cluster_merges += merges
+            dirtied.add(state.node_id)
+        work.nodes_dirtied += len(dirtied)
+        if not built_any:
+            # Nothing was even triggered: with no new epochs the next
+            # round cannot trigger anything either.
+            self._quiescent = True
+
+    def _borrow(self, source: ClusterSummary) -> ClusterSummary:
+        """A copy of ``source``, recycling a pooled scratch summary."""
+        if self._scratch:
+            return self._scratch.pop().replace_with(source)
+        return source.copy()
 
     def run_to_convergence(self) -> int:
         """Run rounds until every node covers radius 0; return rounds."""

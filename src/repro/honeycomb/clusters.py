@@ -17,12 +17,34 @@ A special *slack cluster* absorbs orphan channels (paper §4): channels
 whose wedge cannot grow keep polling at the baselevel no matter what,
 so their fixed cost is used to correct the optimization target rather
 than entering the optimization itself.
+
+Representation
+--------------
+:class:`ClusterSummary` — the unit merged thousands of times per
+aggregation round — stores its clusters as fixed-size parallel arrays
+keyed by ratio bin (slot ``bins`` is the slack cluster), so ``merge``
+is an in-place array walk with no per-cluster object allocation and
+``copy``/``replace_with`` are flat list copies.  The per-cluster
+object API survives as materialized :class:`TradeoffCluster` views
+(the ``clusters``/``slack`` properties) for the optimizer and the
+tests.  :class:`ObjectClusterSummary` retains the original
+dict-of-dataclasses representation as the reference the micro-kernel
+benchmarks compare the flat arrays against.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+#: Bits reserved for the polling level inside a flattened histogram key
+#: (``slot << LEVEL_KEY_SHIFT | level`` in :class:`ClusterSummary`).
+#: Levels are prefix depths (≤ identifier digit count, ≤ 160), far
+#: under the bound; :class:`ChannelFactors` enforces it at creation so
+#: keys stay collision-free.
+LEVEL_KEY_SHIFT = 20
 
 
 @dataclass(frozen=True)
@@ -48,6 +70,8 @@ class ChannelFactors:
             raise ValueError("update interval must be positive")
         if self.level < 0:
             raise ValueError("polling level cannot be negative")
+        if self.level >= 1 << LEVEL_KEY_SHIFT:
+            raise ValueError("polling level out of range")
 
 
 @dataclass
@@ -85,10 +109,20 @@ class TradeoffCluster:
 
     # ------------------------------------------------------------------
     def majority_level(self) -> int:
-        """The most common current level among member channels."""
+        """The most common current level among member channels.
+
+        Ties break toward the shallower level — a canonical rule, so
+        two value-equal histograms always agree regardless of the
+        order their entries were inserted in (delta rounds keep old
+        summary objects where the eager sweep would rebuild equal
+        ones; an order-dependent tie-break would let the two modes
+        diverge).
+        """
         if not self.levels:
             return 0
-        return max(self.levels.items(), key=lambda item: item[1])[0]
+        return max(
+            self.levels.items(), key=lambda item: (item[1], -item[0])
+        )[0]
 
     def mean_factors(self) -> ChannelFactors:
         """The representative (mean) channel this cluster stands for.
@@ -143,22 +177,42 @@ def ratio_bin(ratio: float, bins: int) -> int:
     return min(bins - 1, max(0, int(position * bins)))
 
 
-@dataclass
 class ClusterSummary:
     """Capped set of tradeoff clusters, plus the slack cluster.
 
     This is the unit exchanged between nodes during the aggregation
-    phase.  ``clusters`` maps a ratio bin to a cluster; the per-level
-    composition lives in each cluster's ``levels`` histogram (channels
-    at different levels with the same ratio have identical tradeoff
-    *curves*, so binning by ratio alone loses nothing for the solver
-    while keeping the summary within the paper's per-level state cap).
-    ``slack`` aggregates orphan channels whose levels are frozen (§4).
+    phase.  Channels land in a ratio bin (the per-level composition
+    lives in each bin's level histogram: channels at different levels
+    with the same ratio have identical tradeoff *curves*, so binning by
+    ratio alone loses nothing for the solver while keeping the summary
+    within the paper's per-level state cap).  The slack slot aggregates
+    orphan channels whose levels are frozen (§4).
+
+    Internally the factor sums live in one ``(4, bins + 1)`` float
+    array — rows are channel count, Σq, Σs, Σlog u; columns are ratio
+    bins with the slack cluster at column ``bins`` — so ``merge`` is a
+    single vectorized in-place add and ``copy`` one C-level array copy.
+    The per-bin level histograms are flattened into one dict keyed
+    ``slot << LEVEL_SHIFT | level`` so merging them folds a single
+    dict.  ``clusters`` and ``slack`` materialize read-only
+    :class:`TradeoffCluster` views for consumers that want the object
+    API; mutating a view does not write back.
     """
 
-    bins: int = 16
-    clusters: dict[int, TradeoffCluster] = field(default_factory=dict)
-    slack: TradeoffCluster = field(default_factory=TradeoffCluster)
+    __slots__ = ("bins", "_sums", "_levels")
+
+    #: See :data:`LEVEL_KEY_SHIFT` — shared with the
+    #: :class:`ChannelFactors` level bound.
+    LEVEL_SHIFT = LEVEL_KEY_SHIFT
+
+    #: Row indices of the packed sums array.
+    _COUNT, _SUBS, _SIZE, _LOGU = 0, 1, 2, 3
+
+    def __init__(self, bins: int = 16) -> None:
+        self.bins = bins
+        self._sums = np.zeros((4, bins + 1), dtype=np.float64)
+        #: Flattened (slot, level) → channel count histogram.
+        self._levels: dict[int, int] = {}
 
     def add_channel(
         self,
@@ -172,6 +226,158 @@ class ClusterSummary:
         Corona-Fair default ``q/(u·s)`` is used.
         """
         if orphan:
+            slot = self.bins
+        else:
+            slot = ratio_bin(
+                default_ratio(factors) if ratio is None else ratio, self.bins
+            )
+        column = self._sums[:, slot]
+        column[0] += 1.0
+        column[1] += factors.subscribers
+        column[2] += factors.size
+        column[3] += math.log(factors.update_interval)
+        key = (slot << self.LEVEL_SHIFT) | factors.level
+        levels = self._levels
+        levels[key] = levels.get(key, 0) + 1
+
+    def merge(self, other: "ClusterSummary") -> None:
+        """Fold another summary into this one, preserving the bin cap."""
+        if other.bins != self.bins:
+            raise ValueError("summaries must use the same bin count")
+        self._sums += other._sums
+        levels = self._levels
+        get = levels.get
+        for key, count in other._levels.items():
+            levels[key] = get(key, 0) + count
+
+    def copy(self) -> "ClusterSummary":
+        """Deep-enough copy for exchange without aliasing."""
+        duplicate = ClusterSummary.__new__(ClusterSummary)
+        duplicate.bins = self.bins
+        duplicate._sums = self._sums.copy()
+        duplicate._levels = dict(self._levels)
+        return duplicate
+
+    def replace_with(self, other: "ClusterSummary") -> "ClusterSummary":
+        """Overwrite this summary with ``other``'s contents, in place.
+
+        The aggregation rounds use this to recycle scratch summaries
+        instead of allocating a fresh copy per rebuilt radius.
+        """
+        if other.bins != self.bins:
+            raise ValueError("summaries must use the same bin count")
+        self._sums[:] = other._sums
+        self._levels.clear()
+        self._levels.update(other._levels)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClusterSummary):
+            return NotImplemented
+        return (
+            self.bins == other.bins
+            and self._levels == other._levels
+            and bool(np.array_equal(self._sums, other._sums))
+        )
+
+    __hash__ = None  # mutable, like the dataclass it replaced
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterSummary(bins={self.bins}, "
+            f"channels={self.total_channels()}, "
+            f"slack={int(self._sums[0, self.bins])})"
+        )
+
+    # ------------------------------------------------------------------
+    # object-API views
+    # ------------------------------------------------------------------
+    def _cluster_view(self, slot: int) -> TradeoffCluster:
+        shift = self.LEVEL_SHIFT
+        mask = (1 << shift) - 1
+        column = self._sums[:, slot]
+        return TradeoffCluster(
+            count=int(column[0]),
+            sum_subscribers=float(column[1]),
+            sum_size=float(column[2]),
+            sum_log_update_interval=float(column[3]),
+            levels={
+                key & mask: count
+                for key, count in self._levels.items()
+                if key >> shift == slot
+            },
+        )
+
+    @property
+    def clusters(self) -> dict[int, TradeoffCluster]:
+        """Materialized bin → cluster view (read-only snapshot)."""
+        shift = self.LEVEL_SHIFT
+        mask = (1 << shift) - 1
+        by_slot: dict[int, dict[int, int]] = {}
+        for key, count in self._levels.items():
+            by_slot.setdefault(key >> shift, {})[key & mask] = count
+        sums = self._sums
+        return {
+            slot: TradeoffCluster(
+                count=int(sums[0, slot]),
+                sum_subscribers=float(sums[1, slot]),
+                sum_size=float(sums[2, slot]),
+                sum_log_update_interval=float(sums[3, slot]),
+                levels=levels,
+            )
+            for slot, levels in sorted(by_slot.items())
+            if slot < self.bins
+        }
+
+    @property
+    def slack(self) -> TradeoffCluster:
+        """Materialized view of the slack (orphan) cluster."""
+        return self._cluster_view(self.bins)
+
+    # ------------------------------------------------------------------
+    def total_channels(self) -> int:
+        """Channels summarized, excluding the slack cluster."""
+        return int(self._sums[0, : self.bins].sum())
+
+    def total_subscribers(self) -> float:
+        """Sum of q_i over summarized channels (excluding slack)."""
+        return float(self._sums[1, : self.bins].sum())
+
+    def cluster_count(self) -> int:
+        """Number of distinct ratio-bin clusters currently held."""
+        return int(np.count_nonzero(self._sums[0, : self.bins]))
+
+    def state_size(self) -> int:
+        """Bin-cap check: distinct clusters never exceed ``bins``.
+
+        (The paper caps clusters *per level*; ratio-only binning is
+        strictly tighter — at most ``bins`` clusters total.)
+        """
+        return self.cluster_count()
+
+
+@dataclass
+class ObjectClusterSummary:
+    """The original dict-of-:class:`TradeoffCluster` representation.
+
+    Semantically identical to :class:`ClusterSummary`; retained as the
+    reference the micro-kernel benchmarks compare the flat-array
+    representation against (``benchmarks/test_micro_kernels.py``).
+    Nothing on the protocol paths uses it.
+    """
+
+    bins: int = 16
+    clusters: dict[int, TradeoffCluster] = field(default_factory=dict)
+    slack: TradeoffCluster = field(default_factory=TradeoffCluster)
+
+    def add_channel(
+        self,
+        factors: ChannelFactors,
+        orphan: bool = False,
+        ratio: float | None = None,
+    ) -> None:
+        """Fold one channel into the summary (slack if it is an orphan)."""
+        if orphan:
             self.slack.add(factors)
             return
         key = ratio_bin(
@@ -183,7 +389,7 @@ class ClusterSummary:
             self.clusters[key] = cluster
         cluster.add(factors)
 
-    def merge(self, other: "ClusterSummary") -> None:
+    def merge(self, other: "ObjectClusterSummary") -> None:
         """Fold another summary into this one, preserving the bin cap."""
         if other.bins != self.bins:
             raise ValueError("summaries must use the same bin count")
@@ -195,31 +401,12 @@ class ClusterSummary:
                 mine.merge(cluster)
         self.slack.merge(other.slack)
 
-    def copy(self) -> "ClusterSummary":
+    def copy(self) -> "ObjectClusterSummary":
         """Deep-enough copy for exchange without aliasing."""
-        duplicate = ClusterSummary(bins=self.bins)
+        duplicate = ObjectClusterSummary(bins=self.bins)
         duplicate.merge(self)
         return duplicate
 
-    # ------------------------------------------------------------------
     def total_channels(self) -> int:
         """Channels summarized, excluding the slack cluster."""
         return sum(cluster.count for cluster in self.clusters.values())
-
-    def total_subscribers(self) -> float:
-        """Sum of q_i over summarized channels (excluding slack)."""
-        return sum(
-            cluster.sum_subscribers for cluster in self.clusters.values()
-        )
-
-    def cluster_count(self) -> int:
-        """Number of distinct ratio-bin clusters currently held."""
-        return len(self.clusters)
-
-    def state_size(self) -> int:
-        """Bin-cap check: distinct clusters never exceed ``bins``.
-
-        (The paper caps clusters *per level*; ratio-only binning is
-        strictly tighter — at most ``bins`` clusters total.)
-        """
-        return len(self.clusters)

@@ -127,6 +127,19 @@ class OverlayNetwork:
         #: :meth:`aggregation_rows` O(1) under churn instead of
         #: rescanning every routing table per membership event.
         self._pair_depths: Counter[int] = Counter()
+        #: Cumulative incremental-join work: ``joins`` completed,
+        #: ``survivor_updates`` slot candidates examined at existing
+        #: nodes (members of the newcomer's deepest enclosing region;
+        #: already-filled slots are examined but not written),
+        #: ``leaf_updates`` ring-neighbour handshakes, ``fill_probes``
+        #: index bisections while filling the newcomer's table.  The
+        #: churn scale tests assert these stay O(log N)-ish per join.
+        self.join_stats: dict[str, int] = {
+            "joins": 0,
+            "survivor_updates": 0,
+            "leaf_updates": 0,
+            "fill_probes": 0,
+        }
 
     def _spl_values(self, a: int, b: int) -> int:
         """Shared-prefix digits between two identifier values."""
@@ -177,22 +190,34 @@ class OverlayNetwork:
 
         Reaches the same end state as the announcement-based join — the
         newcomer's table is as complete as the population allows and
-        every affected peer learns of it — while touching only
-        O(N) cheap slot checks plus the 2f true ring neighbours:
+        every affected peer learns of it — in O(log N)-ish work:
 
         * the newcomer's leaf set is the exact ring slice around its
           identifier, and those neighbours reciprocally admit it (no
           other node's leaf set can contain it);
         * the newcomer's routing slots are filled by prefix-range
           bisection into the sorted index;
-        * every survivor files the newcomer into its (single) matching
-          routing slot if that slot is empty — first-observed-wins,
-          exactly what the join announcements used to do.
+        * survivors are updated through the per-region empty-slot
+          argument: survivor S files the newcomer X into slot
+          ``(spl(S, X), digit)`` whose identifier region is exactly
+          ``prefix(X, spl(S, X) + 1)``.  The incremental invariant — a
+          slot is empty only when its region holds no live node —
+          means that slot can be empty only if that region was empty
+          before the join, i.e. only for survivors in X's *deepest
+          non-empty enclosing prefix region* (everyone deeper shares
+          more digits, and that region is empty by maximality; for
+          everyone shallower the region already held a node, so
+          first-observed-wins keeps their existing entry).  The
+          deepest enclosing region is found from X's sorted-index
+          neighbours, so a join costs two bisects plus one slot write
+          per region member instead of a population scan.
         """
         if not self.nodes:
             return
         ids = self._ids
         n = len(ids)
+        stats = self.join_stats
+        stats["joins"] += 1
         position = bisect_left(ids, joining.node_id.value)
         span = min(self.leaf_size, n)
         for offset in range(span):
@@ -201,18 +226,28 @@ class OverlayNetwork:
             for neighbour_id in (successor, predecessor):
                 joining.observe(neighbour_id)
                 self.nodes[neighbour_id].observe(joining.node_id)
+                stats["leaf_updates"] += 2
         self._fill_table_from_index(joining)
         new_id = joining.node_id
-        new_value = new_id.value
+        value = new_id.value
         bpd = bits_per_digit(self.base)
         mask = self.base - 1
-        for survivor in self.nodes.values():
-            # Inline table.observe: the newcomer fits exactly one slot
-            # per survivor, filled only if empty (first-observed wins).
-            row, col = _slot_for_values(
-                survivor.node_id.value, new_value, bpd, mask
-            )
-            bucket = survivor.table._rows.setdefault(row, {})
+        # Deepest enclosing non-empty region: the maximal shared prefix
+        # is always achieved at a sorted neighbour.
+        pred = ids[(position - 1) % n]
+        succ = ids[position % n]
+        depth = max(self._spl_values(pred, value), self._spl_values(succ, value))
+        shift = ID_BITS - depth * bpd
+        region_lo = (value >> shift) << shift
+        left = bisect_left(ids, region_lo)
+        right = bisect_left(ids, region_lo + (1 << shift))
+        col = (value >> (shift - bpd)) & mask
+        stats["survivor_updates"] += right - left
+        for index in range(left, right):
+            survivor = self.nodes[self._by_value[ids[index]]]
+            # The newcomer fits exactly slot (depth, col) of every
+            # region member; fill only if empty (first-observed wins).
+            bucket = survivor.table._rows.setdefault(depth, {})
             if col not in bucket:
                 bucket[col] = new_id
 
@@ -228,6 +263,7 @@ class OverlayNetwork:
         ids = self._ids
         value = node.node_id.value
         bpd = bits_per_digit(self.base)
+        stats = self.join_stats
         for row in range(digits_per_id(self.base)):
             shift = ID_BITS - (row + 1) * bpd
             top = value >> (shift + bpd)
@@ -239,6 +275,7 @@ class OverlayNetwork:
             region_hi = region_lo + (1 << (shift + bpd))
             left = bisect_left(ids, region_lo)
             right = bisect_left(ids, region_hi)
+            stats["fill_probes"] += 2
             occupied = right - left
             if node.node_id.value in self._by_value:
                 occupied -= 1  # the node itself, when already indexed
@@ -249,6 +286,7 @@ class OverlayNetwork:
                     continue
                 lo = ((top << bpd) | col) << shift
                 index = bisect_left(ids, lo, left, right)
+                stats["fill_probes"] += 1
                 if index < right and ids[index] < lo + (1 << shift):
                     node.table.observe(self._by_value[ids[index]])
 

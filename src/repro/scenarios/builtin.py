@@ -176,7 +176,7 @@ CHURN_SCALE_SWEEP = register(
         name="churn-scale-sweep",
         description=(
             "Scale probe for incremental churn: manager-targeted "
-            "crash/join waves at 512 and 1024 nodes over a wide "
+            "crash/join waves at 512 up to 4096 nodes over a wide "
             "channel population — the CI perf baseline for "
             "membership-change cost (its --json metrics and the "
             "BENCH_timings artifacts are the regression reference)."
@@ -205,7 +205,31 @@ CHURN_SCALE_SWEEP = register(
         variants={
             "n512": {},
             "n1024": {"n_nodes": 1024},
+            "n2048": {"n_nodes": 2048},
+            "n4096": {"n_nodes": 4096},
         },
+    )
+)
+
+STEADY_STATE_4096 = register(
+    ScenarioSpec(
+        name="steady-state-4096",
+        description=(
+            "Delta-round scale probe: a fault-free 4096-node cloud "
+            "where, once levels converge, maintenance rounds should "
+            "do work proportional to change (≈ none) — its --json "
+            "work counters are the steady-state regression reference "
+            "for aggregation cost at scale."
+        ),
+        n_nodes=4096,
+        horizon=1800.0,
+        poll_tick=300.0,
+        bucket_width=600.0,
+        workload=WorkloadSpec(
+            n_channels=64,
+            n_subscriptions=640,
+            update_interval_scale=0.05,
+        ),
     )
 )
 
@@ -219,4 +243,5 @@ BUILTIN_NAMES = (
     "burst-publish",
     "degraded-overlay",
     "churn-scale-sweep",
+    "steady-state-4096",
 )

@@ -80,6 +80,16 @@ class ScenarioMetrics:
     joins: int
     crashes: int
     rehomed_channels: int
+    #: Aggregation work counters (value changes, not instructions):
+    #: summaries whose committed value changed, contact contributions
+    #: merged into those changed builds, and node-dirtied-per-round
+    #: accumulations.  Deterministic under a fixed seed and identical
+    #: between delta and eager rounds, so the CI baselines gate on
+    #: them exactly — a regression in *work done* fails loudly even
+    #: though wall-clock timings stay report-only.
+    work_summaries_rebuilt: int
+    work_cluster_merges: int
+    work_nodes_dirtied: int
     mean_detection_delay: float
     legacy_detection_delay: float
     mean_polls_per_min: float
@@ -120,6 +130,9 @@ class ScenarioMetrics:
             "joins": self.joins,
             "crashes": self.crashes,
             "rehomed_channels": self.rehomed_channels,
+            "work_summaries_rebuilt": self.work_summaries_rebuilt,
+            "work_cluster_merges": self.work_cluster_merges,
+            "work_nodes_dirtied": self.work_nodes_dirtied,
             "mean_detection_delay": scrub(self.mean_detection_delay),
             "legacy_detection_delay": self.legacy_detection_delay,
             "mean_polls_per_min": self.mean_polls_per_min,
@@ -160,6 +173,9 @@ class ScenarioMetrics:
             f"(legacy tau/2 = {self.legacy_detection_delay:.0f}s)",
             f"  messages   : {self.maintenance_messages} maintenance, "
             f"{self.diff_messages} diff",
+            f"  agg work   : {self.work_summaries_rebuilt} summaries "
+            f"rebuilt, {self.work_cluster_merges} cluster merges, "
+            f"{self.work_nodes_dirtied} node-dirty events",
         ]
         return "\n".join(lines)
 
@@ -213,7 +229,11 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
             target_bytes=int(trace.content_sizes[index]),
         )
     system = CoronaSystem(
-        n_nodes=spec.n_nodes, config=config, fetcher=farm, seed=seed
+        n_nodes=spec.n_nodes,
+        config=config,
+        fetcher=farm,
+        seed=seed,
+        delta_rounds=spec.delta_rounds,
     )
     engine = EventEngine()
     latency = LatencyModel(seed=seed + 2)
@@ -414,6 +434,9 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
         joins=system.counters.joins,
         crashes=system.counters.crashes,
         rehomed_channels=system.counters.rehomed_channels,
+        work_summaries_rebuilt=system.aggregator.work.summaries_rebuilt,
+        work_cluster_merges=system.aggregator.work.cluster_merges,
+        work_nodes_dirtied=system.aggregator.work.nodes_dirtied,
         mean_detection_delay=mean_delay,
         legacy_detection_delay=tau / 2.0,
         mean_polls_per_min=system.counters.polls / minutes,

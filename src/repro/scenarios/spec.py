@@ -285,6 +285,12 @@ class ScenarioSpec:
     horizon: float = 3600.0
     poll_tick: float = 30.0
     bucket_width: float = 600.0
+    #: False runs the eager aggregation reference (reload + recompute
+    #: everything per round) instead of delta-driven rounds.  Metrics —
+    #: including the work counters — are bit-identical between the two;
+    #: the flag exists so the equivalence suite and ad-hoc experiments
+    #: can run the reference through the same spec machinery.
+    delta_rounds: bool = True
     config: Mapping[str, Any] = field(default_factory=dict)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     events: tuple[ScenarioEvent, ...] = ()
@@ -447,6 +453,7 @@ class ScenarioSpec:
             "horizon": self.horizon,
             "poll_tick": self.poll_tick,
             "bucket_width": self.bucket_width,
+            "delta_rounds": self.delta_rounds,
             "config": dict(self.config),
             "workload": dataclasses.asdict(self.workload),
             "events": events,

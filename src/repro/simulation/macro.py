@@ -77,6 +77,7 @@ class MacroSimulator:
         oracle_factors: bool = True,
         horizon: float = 6 * 3600.0,
         bucket_width: float = 600.0,
+        delta_rounds: bool = True,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -85,6 +86,9 @@ class MacroSimulator:
         self.oracle_factors = oracle_factors
         self.horizon = horizon
         self.bucket_width = bucket_width
+        #: False restores the eager aggregation sweep (reload + full
+        #: recompute per round); results are bit-identical either way.
+        self.delta_rounds = delta_rounds
         self.rng = np.random.default_rng(seed)
 
         # The "corona" address prefix yields a Poisson-typical number
@@ -187,7 +191,9 @@ class MacroSimulator:
         # current without per-event re-materialization (same API the
         # full system uses for incremental churn).
         self.aggregator = DecentralizedAggregator.for_overlay(
-            self.overlay, bins=self.config.tradeoff_bins
+            self.overlay,
+            bins=self.config.tradeoff_bins,
+            delta_rounds=self.delta_rounds,
         )
 
     def _prepare_updates(self) -> None:
@@ -221,7 +227,10 @@ class MacroSimulator:
         what lets global knowledge converge within the couple of
         phases Figure 3 shows.
         """
-        self.aggregator.load_local(
+        # Delta rounds reload only managers whose levels moved last
+        # round (plus the initial everyone-dirty load); the eager
+        # reference reloads the population.
+        self.aggregator.refresh_locals(
             lambda node_id: (
                 self.nodes[node_id].local_factors()
                 if node_id in self.nodes
@@ -233,12 +242,18 @@ class MacroSimulator:
         for node_id, node in self.nodes.items():
             remote = self.aggregator.states[node_id].best_remote()
             node.run_optimization(remote, self.n_nodes)
+            moved = False
             for url, channel in node.managed.items():
                 index = self._channel_index[url]
+                before = channel.level
                 new_level = node.controller.step(url, channel.level)
                 channel.level = new_level
                 channel.clamp_level()
                 self.levels[index] = channel.level
+                if channel.level != before:
+                    moved = True
+            if moved:
+                self.aggregator.mark_local_dirty(node_id)
 
     # ------------------------------------------------------------------
     # measurement

@@ -220,6 +220,34 @@ class TestSystemChurnEquivalence:
 
         assert_equivalent(system.aggregator, system.overlay, local_channels)
 
+    def test_delta_system_matches_rebuild_after_churn(self, fast_config):
+        """The delta-round system aggregator is also rebuild-equivalent."""
+        farm = WebServerFarm(seed=21)
+        system = CoronaSystem(
+            n_nodes=24,
+            config=fast_config,
+            fetcher=farm,
+            seed=21,
+            delta_rounds=True,
+        )
+        for rank in range(5):
+            url = f"http://deq{rank}.example/rss"
+            farm.host(url, update_interval=120.0, target_bytes=500)
+            for client in range(4):
+                system.subscribe(url, f"d{rank}-{client}", now=0.0)
+        rng = random.Random(21)
+        now = 0.0
+        for _ in range(4):
+            now += 60.0
+            system.crash_nodes(1, now=now, rng=rng)
+            system.join_nodes(1, now=now)
+            system.run_maintenance_round(now)
+
+        def local_channels(node_id):
+            return system.nodes[node_id].local_factors()
+
+        assert_equivalent(system.aggregator, system.overlay, local_channels)
+
     def test_rebuild_mode_system_behaves(self, fast_config):
         """The retained rebuild path still transfers state correctly."""
         farm = WebServerFarm(seed=2)
@@ -244,3 +272,86 @@ class TestSystemChurnEquivalence:
         )
         assert registered == total
         assert set(system.aggregator.states) == set(system.nodes)
+
+
+class TestDeltaEagerSystemEquivalence:
+    """delta_rounds=True vs the eager reference: bit-identical metrics.
+
+    Two complete systems — one with delta rounds, one eager — are
+    driven through the same seeded interleaving of joins, crashes,
+    flash-crowd subscription waves, unsubscribes, polls (real update
+    detections moving the interval estimators) and maintenance rounds.
+    Every observable — aggregation states, channel levels, protocol
+    counters and the value-change work counters — must agree exactly;
+    the work-counter match is also the proof that the dirty-local
+    marking in :class:`CoronaSystem` is complete (a missed mark shows
+    up as the eager side counting a change the delta side skipped).
+    """
+
+    def build(self, delta, seed, fast_config):
+        farm = WebServerFarm(seed=seed)
+        system = CoronaSystem(
+            n_nodes=32,
+            config=fast_config,
+            fetcher=farm,
+            seed=seed,
+            delta_rounds=delta,
+        )
+        for rank in range(8):
+            url = f"http://mix{rank}.example/rss"
+            farm.host(url, update_interval=90.0, target_bytes=400)
+        return system, farm
+
+    def drive(self, system, farm, seed, horizon_steps=18):
+        rng = random.Random(seed)
+        client = 0
+        now = 0.0
+        for url_rank in range(8):
+            url = f"http://mix{url_rank}.example/rss"
+            for _ in range(4):
+                system.subscribe(url, f"c{client}", now=0.0)
+                client += 1
+        for step in range(horizon_steps):
+            now += 60.0
+            action = rng.random()
+            if action < 0.2 and len(system.nodes) > 6:
+                system.crash_nodes(
+                    rng.randint(1, 2), now=now, rng=rng,
+                    target=rng.choice(["any", "managers"]),
+                )
+            elif action < 0.4:
+                system.join_nodes(rng.randint(1, 2), now=now)
+            elif action < 0.6:
+                # Flash crowd: a burst of subscriptions on one channel.
+                url = f"http://mix{rng.randrange(8)}.example/rss"
+                for _ in range(rng.randint(5, 15)):
+                    system.subscribe(url, f"crowd-{client}", now=now)
+                    client += 1
+            elif action < 0.7:
+                url = f"http://mix{rng.randrange(8)}.example/rss"
+                system.unsubscribe(url, f"c{rng.randrange(max(client, 1))}")
+            farm.advance_to(now)
+            system.poll_due(now)
+            if step % 2 == 1:
+                system.run_maintenance_round(now)
+        return system
+
+    @pytest.mark.parametrize("seed", [31, 32, 33])
+    def test_metrics_bit_identical(self, seed, fast_config):
+        delta_sys, delta_farm = self.build(True, seed, fast_config)
+        eager_sys, eager_farm = self.build(False, seed, fast_config)
+        self.drive(delta_sys, delta_farm, seed)
+        self.drive(eager_sys, eager_farm, seed)
+        assert delta_sys.counters == eager_sys.counters
+        assert delta_sys.aggregator.states == eager_sys.aggregator.states
+        assert (
+            delta_sys.aggregator.work.as_dict()
+            == eager_sys.aggregator.work.as_dict()
+        )
+        assert set(delta_sys.managers) == set(eager_sys.managers)
+        for url in delta_sys.managers:
+            assert delta_sys.channel_level(url) == eager_sys.channel_level(
+                url
+            ), url
+        assert delta_farm.total_polls == eager_farm.total_polls
+        assert delta_farm.total_updates == eager_farm.total_updates

@@ -134,6 +134,61 @@ class TestExactRepair:
         assert len(net) == 2
 
 
+class TestJoinWorkScaling:
+    """Joins touch the deepest enclosing region, not the population.
+
+    The per-region empty-slot argument makes a join O(log N) bisects
+    plus one slot write per member of the newcomer's deepest non-empty
+    enclosing prefix region (expected O(base) members under uniform
+    identifiers).  The ``join_stats`` counters let the test pin that:
+    per-join survivor updates must stay near the region size and must
+    not scale with N, and the newcomer's own table fill stays at
+    O(base · log N) probes.
+    """
+
+    @staticmethod
+    def per_join(n, base=16, seed=23):
+        net = OverlayNetwork.build(n, base=base, leaf_size=4, seed=seed)
+        stats = net.join_stats
+        joins = stats["joins"]
+        return {key: value / joins for key, value in stats.items()}, net
+
+    def test_survivor_updates_stay_region_sized(self):
+        small, _ = self.per_join(128)
+        large, _ = self.per_join(512)
+        # Expected deepest-region occupancy is O(base); allow slack for
+        # hash clumping but stay far from a population scan.
+        assert large["survivor_updates"] < 4 * 16
+        # 4x the population must not translate into linear growth.
+        assert (
+            large["survivor_updates"]
+            < 2 * small["survivor_updates"] + 16
+        )
+
+    def test_fill_probes_logarithmic(self):
+        small, _ = self.per_join(128)
+        large, _ = self.per_join(512)
+        # Table fill bisects scale with occupied rows (log_b N), not N.
+        assert large["fill_probes"] < 8 * 16
+        assert large["fill_probes"] < small["fill_probes"] * 2
+
+    def test_post_join_state_still_complete(self):
+        """The targeted update reaches the same end state as the scan:
+        every slot with a live candidate is filled (spot-checked here,
+        exhaustively by TestExactRepair on churned overlays)."""
+        _, net = self.per_join(96, base=4)
+        newcomer = net.add_node("join-work-probe").node_id
+        for node_id, node in net.nodes.items():
+            if node_id == newcomer:
+                continue
+            row = node_id.shared_prefix_len(newcomer, net.base)
+            col = newcomer.digit(row, net.base)
+            entry = node.table.entry(row, col)
+            assert entry is not None
+            assert entry.shared_prefix_len(node_id, net.base) == row
+            assert entry.digit(row, net.base) == col
+
+
 class TestRoutingTablesView:
     def test_view_is_cached_and_live(self):
         net = OverlayNetwork.build(10, base=4, leaf_size=2, seed=1)

@@ -29,11 +29,19 @@ class TestChurnScaleSweep:
     def test_registered_with_scale_variants(self):
         spec = get_scenario("churn-scale-sweep")
         assert spec.n_nodes == 512
-        assert spec.variant_labels() == ["n512", "n1024"]
+        assert spec.variant_labels() == ["n512", "n1024", "n2048", "n4096"]
         assert spec.variant_spec("n1024").n_nodes == 1024
+        assert spec.variant_spec("n2048").n_nodes == 2048
+        assert spec.variant_spec("n4096").n_nodes == 4096
         wave = spec.events[0]
         assert isinstance(wave, ChurnWave)
         assert wave.target == "managers"
+
+    def test_steady_state_4096_probe_registered(self):
+        spec = get_scenario("steady-state-4096")
+        assert spec.n_nodes == 4096
+        assert spec.events == ()
+        assert spec.delta_rounds is True
 
     def test_same_seed_is_bit_identical_across_runs(self):
         """Two in-process runs of spec+seed produce identical metrics."""

@@ -185,3 +185,43 @@ class TestMetricsShape:
         assert "scenario tiny" in text
         assert str(metrics.detections) in text
         assert str(metrics.polls) in text
+
+
+class TestDeltaRoundsEquivalence:
+    """The spec's delta_rounds flag flips the execution strategy only:
+    a full scenario's --json metrics — work counters included — are
+    bit-identical between delta and the eager reference."""
+
+    def test_metrics_identical_across_modes(self):
+        events = (
+            ChurnWave(
+                at=120.0,
+                duration=240.0,
+                interval=60.0,
+                crashes_per_tick=1,
+                joins_per_tick=1,
+            ),
+            FlashCrowd(
+                at=300.0, channel=0, subscribers=30, window=30.0,
+                update_factor=2.0,
+            ),
+        )
+        delta = ScenarioRunner(
+            tiny_spec(events=events), seed=5
+        ).run().to_dict()
+        eager = ScenarioRunner(
+            tiny_spec(events=events, delta_rounds=False), seed=5
+        ).run().to_dict()
+        assert delta == eager
+
+    def test_work_counters_emitted_and_deterministic(self):
+        first = run_tiny(seed=9).to_dict()
+        second = run_tiny(seed=9).to_dict()
+        for key in (
+            "work_summaries_rebuilt",
+            "work_cluster_merges",
+            "work_nodes_dirtied",
+        ):
+            assert key in first
+            assert first[key] == second[key]
+            assert first[key] >= 0
