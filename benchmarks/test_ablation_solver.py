@@ -40,19 +40,21 @@ def problem() -> TradeoffProblem:
 
 
 def test_solver_bracketing(benchmark, problem):
-    solver = HoneycombSolver(validate=False)
+    # memo off: the ablation times the bracketing kernel itself, not
+    # an LRU replay of the first iteration's solution.
+    solver = HoneycombSolver(validate=False, memo_solve=False)
     solution = benchmark(lambda: solver.solve(problem))
     assert solution.feasible
 
 
 def test_solver_scan_baseline(benchmark, problem):
-    solver = HoneycombSolver(validate=False)
+    solver = HoneycombSolver(validate=False, memo_solve=False)
     solution = benchmark(lambda: solver.solve_scan(problem))
     assert solution.feasible
 
 
 def test_strategies_agree(benchmark, problem):
-    solver = HoneycombSolver(validate=False)
+    solver = HoneycombSolver(validate=False, memo_solve=False)
 
     def both():
         return solver.solve(problem), solver.solve_scan(problem)

@@ -17,6 +17,8 @@ from repro.honeycomb.clusters import (
     ClusterSummary,
     ObjectClusterSummary,
 )
+from repro.honeycomb.problem import ChannelTradeoff, TradeoffProblem
+from repro.honeycomb.solver import HoneycombSolver, ObjectHoneycombSolver
 from repro.overlay.dag import dissemination_tree
 from repro.overlay.hashing import channel_id
 from repro.overlay.network import OverlayNetwork
@@ -136,6 +138,73 @@ def test_micro_round_kernel_objects(benchmark):
     summaries = _populate_summaries(ObjectClusterSummary)
     folded = benchmark(lambda: _round_kernel(summaries))
     assert folded == 48
+
+
+def _solver_problems(count: int = 64) -> list:
+    """``count`` manager-shaped instances: 17 weighted ratio-bin
+    clusters over 5 levels, budgets spanning slack to tight."""
+    problems = []
+    for rank in range(count):
+        levels = tuple(range(5))
+        channels = [
+            ChannelTradeoff(
+                key=bin_key,
+                levels=levels,
+                f=tuple(
+                    (1.0 + (rank + bin_key) % 13) * 4.0**level
+                    for level in levels
+                ),
+                g=tuple(
+                    (1.0 + bin_key % 7) * 400.0 / 4.0**level
+                    for level in levels
+                ),
+                weight=1 + (rank * 31 + bin_key * 7) % 120,
+            )
+            for bin_key in range(17)
+        ]
+        total = sum(ch.weight * ch.g[0] for ch in channels)
+        problems.append(
+            TradeoffProblem(
+                channels=channels, target=total / (2 + rank % 9)
+            )
+        )
+    return problems
+
+
+def _solve_batch(solver, problems) -> float:
+    cost = 0.0
+    for problem in problems:
+        cost += solver.solve(problem).cost
+    return cost
+
+
+def test_micro_solver_flat(benchmark):
+    """The vectorized solve kernel (memo off: times the kernel)."""
+    problems = _solver_problems()
+    solver = HoneycombSolver(validate=False, memo_solve=False)
+    cost = benchmark(lambda: _solve_batch(solver, problems))
+    assert cost > 0
+
+
+def test_micro_solver_objects(benchmark):
+    """The object-graph solver (the pre-flat reference kernel)."""
+    problems = _solver_problems()
+    solver = ObjectHoneycombSolver(validate=False)
+    cost = benchmark(lambda: _solve_batch(solver, problems))
+    assert cost > 0
+
+
+def test_micro_solver_pair_bit_identical():
+    """The pair being compared must compute identical solutions."""
+    flat = HoneycombSolver(validate=False, memo_solve=False)
+    objects = ObjectHoneycombSolver(validate=False)
+    for problem in _solver_problems():
+        left = flat.solve(problem)
+        right = objects.solve(problem)
+        assert left.levels == right.levels
+        assert left.objective == right.objective
+        assert left.cost == right.cost
+        assert left.feasible == right.feasible
 
 
 def test_micro_control_round(benchmark):

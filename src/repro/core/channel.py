@@ -17,6 +17,25 @@ from repro.overlay.hashing import channel_id
 from repro.overlay.nodeid import NodeId
 
 
+#: ChannelStats attributes whose value feeds :meth:`ChannelStats.
+#: factors` (directly or through the ``update_interval`` clamp).
+#: Assigning any of them notifies the bound listener — see
+#: :meth:`ChannelStats.bind`.
+_FACTOR_FIELDS = frozenset(
+    {
+        "subscribers",
+        "content_size",
+        "_interval_estimate",
+        "default_update_interval",
+        "min_interval",
+        "max_interval",
+    }
+)
+
+#: Sentinel for "attribute not set yet" in the change check below.
+_UNSET = object()
+
+
 @dataclass
 class ChannelStats:
     """Owner-side estimators for one channel's tradeoff factors.
@@ -25,6 +44,14 @@ class ChannelStats:
     observed inter-update gaps; until two updates have been seen it
     falls back to ``default_update_interval`` (the survey's one-week
     cap for feeds never observed to change, §5.1).
+
+    Stats are *structurally* change-notifying: assigning any factor
+    attribute (see :data:`_FACTOR_FIELDS`) calls the listener bound
+    via :meth:`bind`.  The owning node routes that to the
+    aggregator's dirty-local set, so no mutation path — present or
+    future — can move a factor without the delta machinery hearing
+    about it (closing the convention hole where each facade call site
+    had to remember ``mark_local_dirty``).
     """
 
     subscribers: int = 0
@@ -36,6 +63,31 @@ class ChannelStats:
     _last_update_time: float | None = None
     _interval_estimate: float | None = None
     updates_seen: int = 0
+
+    def __setattr__(self, name: str, value) -> None:
+        # Notify only when a factor value actually moved: a no-op
+        # re-assignment (idempotent subscriber recounts, an unchanged
+        # content size on detection) must not dirty the owner.
+        notify = (
+            name in _FACTOR_FIELDS
+            and getattr(self, "_listener", None) is not None
+            and getattr(self, name, _UNSET) != value
+        )
+        super().__setattr__(name, value)
+        if notify:
+            self._listener()
+
+    def bind(self, listener) -> None:
+        """Route factor-attribute changes to ``listener`` (no args).
+
+        ``None`` unbinds.  The listener is deliberately not a
+        dataclass field: it never participates in equality, repr or
+        ``asdict``, and it follows the stats object when ownership
+        transfers move it between nodes (the adopting node rebinds).
+        """
+        # Plain attribute set; "_listener" is not a factor field, so
+        # this cannot recurse into the notification itself.
+        self._listener = listener
 
     def record_update(self, timestamp: float, content_size: int) -> None:
         """Fold one detected update into the estimators."""
@@ -99,6 +151,22 @@ class Channel:
         if not self.url:
             raise ValueError("channel URL must be non-empty")
         self.cid = channel_id(self.url)
+
+    def __setattr__(self, name: str, value) -> None:
+        # Replacing the stats object wholesale (ownership transfers do
+        # this, future code might too) is itself a factor mutation: the
+        # incoming object inherits the outgoing one's listener binding
+        # and the listener fires, so swapping estimators can never
+        # bypass the structural dirty notification.
+        if name == "stats":
+            previous = getattr(self, "stats", None)
+            listener = getattr(previous, "_listener", None)
+            super().__setattr__(name, value)
+            if listener is not None:
+                value.bind(listener)
+                listener()
+            return
+        super().__setattr__(name, value)
 
     # ------------------------------------------------------------------
     def is_orphan(self) -> bool:

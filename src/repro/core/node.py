@@ -42,7 +42,7 @@ from repro.diffengine.delta import DeltaError, apply_diff
 from repro.diffengine.differ import Diff, diff_lines
 from repro.diffengine.extractor import CoreContentExtractor
 from repro.honeycomb.clusters import ChannelFactors, ClusterSummary
-from repro.honeycomb.solver import HoneycombSolver
+from repro.honeycomb.solver import HoneycombSolver, SolverWork
 from repro.overlay.nodeid import NodeId
 from repro.overlay.routing import RoutingTable
 
@@ -94,6 +94,9 @@ class CoronaNode:
         *,
         rng_seed: int = 0,
         notifier: Callable[[str, Iterable[str], Diff, float], None] | None = None,
+        memo_solve: bool = True,
+        solver_work: SolverWork | None = None,
+        on_factors_changed: Callable[[NodeId], None] | None = None,
     ) -> None:
         import random
 
@@ -111,7 +114,22 @@ class CoronaNode:
         self.latest_hash: dict[str, int] = {}
         self.controller = LevelController()
         self.extractor = CoreContentExtractor()
-        self.solver = HoneycombSolver(validate=False)
+        #: False restores the eager optimization phase: every
+        #: ``run_optimization`` call rebuilds and re-solves its
+        #: instance even when nothing moved (the solve-memo
+        #: benchmark's reference; outputs are bit-identical).
+        self.memo_solve = memo_solve
+        self.solver = HoneycombSolver(
+            validate=False, memo_solve=memo_solve, work=solver_work
+        )
+        #: Structural dirty notification: called with this node's id
+        #: whenever a managed channel's factor attribute is assigned
+        #: (the system routes it to ``aggregator.mark_local_dirty``).
+        self.on_factors_changed = on_factors_changed
+        #: Whole-phase memo: fingerprint of the last solved
+        #: optimization inputs and the desired levels it produced.
+        self._opt_fingerprint: tuple | None = None
+        self._opt_desired: dict[str, int] = {}
         self.notifier = notifier
         # Counters exposed to the simulators.
         self.polls_issued = 0
@@ -147,7 +165,23 @@ class CoronaNode:
         self.managed[url] = channel
         self.clocks[url] = VersionClock()
         self.scheduler.start(url, channel.level, now)
+        self.bind_channel_stats(channel)
+        self._factors_touched()
         return channel
+
+    def bind_channel_stats(self, channel: Channel) -> None:
+        """Route ``channel.stats`` factor changes to this node.
+
+        Called on adoption; thereafter :class:`Channel`'s ``stats``
+        assignment hook carries the binding onto any replacement
+        object (ownership transfers swap the estimators in wholesale),
+        so no further explicit rebinds exist or are needed.
+        """
+        channel.stats.bind(self._factors_touched)
+
+    def _factors_touched(self) -> None:
+        if self.on_factors_changed is not None:
+            self.on_factors_changed(self.node_id)
 
     def subscribe(self, url: str, client: str, now: float) -> bool:
         """Register a subscription on this (manager) node."""
@@ -189,7 +223,10 @@ class CoronaNode:
     # optimization phase (§3.3)
     # ------------------------------------------------------------------
     def run_optimization(
-        self, remote: ClusterSummary, n_nodes: int
+        self,
+        remote: ClusterSummary,
+        n_nodes: int,
+        solve_cache: dict | None = None,
     ) -> dict[str, int]:
         """Compute desired levels for managed channels.
 
@@ -213,10 +250,31 @@ class CoronaNode:
         coordination, while the rank ordering spends the node's
         fine-grained knowledge where it is actually useful.  Returns
         the desired level per managed URL.
+
+        With ``memo_solve`` the phase is delta-driven at two grains:
+        if neither the remote summary's value nor this node's own
+        contribution (channel identities, factors, orphan structure)
+        moved since the last call, the whole phase short-circuits to
+        one fingerprint comparison and replays the previous desired
+        levels (the controller already holds the targets).  Otherwise,
+        when the driver supplies a round-scoped ``solve_cache``,
+        managers whose *combined* instance fingerprints collide reuse
+        one solution per round — only the local split-bin resolution
+        below stays per-node — so a round solves O(distinct problems)
+        instead of O(managers).
         """
         from repro.core.objectives import binning_ratio
         from repro.honeycomb.clusters import ratio_bin
-        from repro.overlay.hashing import channel_id as hash_url
+
+        if self.memo_solve:
+            fingerprint = (
+                n_nodes,
+                remote.fingerprint(),
+                self._own_contribution_fingerprint(),
+            )
+            if fingerprint == self._opt_fingerprint:
+                self.solver.work.memo_hits += 1
+                return dict(self._opt_desired)
 
         local = [
             channel
@@ -256,11 +314,36 @@ class CoronaNode:
             if cluster.count > 0
         ]
         if not entries:
+            if self.memo_solve:
+                self._opt_fingerprint = fingerprint
+                self._opt_desired = dict(desired)
             return desired
-        problem = build_problem(
-            self.scheme, self.config, n_nodes, entries, inputs
-        )
-        solution = self.solver.solve(problem)
+        solution = None
+        problem_key = None
+        if self.memo_solve and solve_cache is not None:
+            # The shared per-cloud cache: the combined instance is a
+            # pure function of these values (scheme and config are
+            # cloud-wide constants), so a colliding manager's solution
+            # is *the* solution, bit for bit.
+            problem_key = (
+                n_nodes,
+                max_level,
+                inputs,
+                combined.fingerprint(),
+            )
+            cached = solve_cache.get(problem_key)
+            if cached is not None:
+                # Hand each manager its own copy: cache entries must
+                # never alias a consumer's mutable assignment dicts.
+                solution = cached.copy()
+                self.solver.work.shared_hits += 1
+        if solution is None:
+            problem = build_problem(
+                self.scheme, self.config, n_nodes, entries, inputs
+            )
+            solution = self.solver.solve(problem)
+            if problem_key is not None:
+                solve_cache[problem_key] = solution.copy()
 
         for bin_key, members in own_bins.items():
             level = solution.levels.get(bin_key)
@@ -275,7 +358,34 @@ class CoronaNode:
                 want = self._nearest_allowed(channel, want)
                 self.controller.set_target(channel.url, want)
                 desired[channel.url] = want
+        if self.memo_solve:
+            self._opt_fingerprint = fingerprint
+            self._opt_desired = dict(desired)
         return desired
+
+    def _own_contribution_fingerprint(self) -> tuple:
+        """Hashable identity of this node's optimization inputs.
+
+        Covers everything :meth:`run_optimization` reads from the
+        managed channels, in iteration order (split-bin tie-breaks are
+        order-sensitive): identity, the clamped factors at the current
+        level (the same values ``stats.factors(level)`` snapshots) and
+        the orphan/allowed-level structure.  Together with the remote
+        summary's fingerprint and ``n_nodes`` this is a complete input
+        hash — scheme and config are fixed per node.
+        """
+        return tuple(
+            (
+                url,
+                channel.level,
+                channel.stats.subscribers,
+                channel.stats.content_size,
+                channel.stats.update_interval,
+                channel.anchor_prefix,
+                channel.max_level,
+            )
+            for url, channel in self.managed.items()
+        )
 
     @staticmethod
     def _resolve_split(

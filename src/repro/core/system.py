@@ -25,6 +25,7 @@ from repro.core.node import CoronaNode, DetectionEvent, FetchResult
 from repro.core.dissemination import wedge_recipients
 from repro.diffengine.differ import Diff
 from repro.honeycomb.aggregation import DecentralizedAggregator
+from repro.honeycomb.solver import SolverWork
 from repro.overlay.hashing import channel_id
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.nodeid import NodeId
@@ -71,6 +72,7 @@ class CoronaSystem:
         notifier: Callable[[str, Iterable[str], Diff, float], None] | None = None,
         incremental_churn: bool = True,
         delta_rounds: bool = True,
+        memo_solve: bool = True,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
@@ -86,6 +88,14 @@ class CoronaSystem:
         #: bit-identical between the modes; only the work performed
         #: differs.
         self.delta_rounds = delta_rounds
+        #: False restores the eager optimization phase (every manager
+        #: rebuilds and re-solves its instance every round) — the
+        #: solve-memo benchmark's reference.  As with ``delta_rounds``,
+        #: metrics are bit-identical; only the solver work differs
+        #: (see :attr:`solver_work`).
+        self.memo_solve = memo_solve
+        #: Cloud-wide solver counters, shared by every node's solver.
+        self.solver_work = SolverWork()
         self.overlay = OverlayNetwork.build(
             n_nodes,
             base=config.base,
@@ -95,7 +105,13 @@ class CoronaSystem:
         )
         self.nodes: dict[NodeId, CoronaNode] = {
             node_id: CoronaNode(
-                node_id, config, rng_seed=seed, notifier=notifier
+                node_id,
+                config,
+                rng_seed=seed,
+                notifier=notifier,
+                memo_solve=memo_solve,
+                solver_work=self.solver_work,
+                on_factors_changed=self._mark_owner_dirty,
             )
             for node_id in self.overlay.node_ids()
         }
@@ -121,14 +137,32 @@ class CoronaSystem:
         # across calls, so successive crash waves draw independently.
         self._churn_rng = random.Random(f"corona-churn-{seed}")
 
+    def _mark_owner_dirty(self, node_id: NodeId) -> None:
+        """Structural dirty hook: a node's channel factors moved.
+
+        Wired into every :class:`CoronaNode` as ``on_factors_changed``
+        and fired by the stats objects themselves, so any mutation
+        path — including ones added after this facade — lands in the
+        aggregator's dirty-local set without a per-call-site
+        convention.  Guarded because adoption during construction can
+        fire before the aggregator exists (everyone starts dirty
+        anyway).
+        """
+        aggregator = getattr(self, "aggregator", None)
+        if aggregator is not None:
+            aggregator.mark_local_dirty(node_id)
+
     # ------------------------------------------------------------------
     # subscriptions
     # ------------------------------------------------------------------
     def subscribe(self, url: str, client: str, now: float = 0.0) -> NodeId:
-        """Route a subscription to the channel's manager; returns it."""
+        """Route a subscription to the channel's manager; returns it.
+
+        The manager's subscriber-count update dirties it structurally
+        (see :meth:`_mark_owner_dirty`) — no explicit mark needed.
+        """
         manager_id = self._manager_for(url, now)
         self.nodes[manager_id].subscribe(url, client, now)
-        self.aggregator.mark_local_dirty(manager_id)
         return manager_id
 
     def unsubscribe(self, url: str, client: str) -> bool:
@@ -136,10 +170,7 @@ class CoronaSystem:
         manager_id = self.managers.get(url)
         if manager_id is None:
             return False
-        removed = self.nodes[manager_id].unsubscribe(url, client)
-        if removed:
-            self.aggregator.mark_local_dirty(manager_id)
-        return removed
+        return self.nodes[manager_id].unsubscribe(url, client)
 
     def _cid(self, url: str) -> NodeId:
         cid = self._channel_cids.get(url)
@@ -200,7 +231,12 @@ class CoronaSystem:
         for address in addresses:
             pastry_node = self.overlay.add_node(address)
             node = CoronaNode(
-                pastry_node.node_id, self.config, rng_seed=len(self.nodes)
+                pastry_node.node_id,
+                self.config,
+                rng_seed=len(self.nodes),
+                memo_solve=self.memo_solve,
+                solver_work=self.solver_work,
+                on_factors_changed=self._mark_owner_dirty,
             )
             self.nodes[pastry_node.node_id] = node
             joined.append(pastry_node.node_id)
@@ -270,12 +306,15 @@ class CoronaSystem:
         )
         adopted.level = channel.level
         adopted.clamp_level()
+        # The estimators travel with the channel; Channel's stats hook
+        # rebinds their change notifications to the new manager.
         adopted.stats = channel.stats
         node.registry.import_state(state)
         adopted.stats.subscribers = node.registry.count(url)
         self.managers[url] = new_manager
         self._anchor_index[url] = self._anchor_key(new_manager, cid)
-        # Both ends of the transfer now own a different channel set.
+        # Both ends of the transfer now own a different channel set
+        # (a pure membership change no stats mutation announces).
         self.aggregator.mark_local_dirty(previous_id)
         self.aggregator.mark_local_dirty(new_manager)
 
@@ -479,11 +518,15 @@ class CoronaSystem:
         self.run_aggregation_phase()
         sent = 0
         n_nodes = len(self.overlay)
+        # Round-scoped shared-solution cache: managers whose combined
+        # instances collide this round solve once (memo_solve only —
+        # the eager reference must re-solve per manager).
+        solve_cache: dict | None = {} if self.memo_solve else None
         for node_id, node in self.nodes.items():
             if not node.managed:
                 continue
             remote = self.aggregator.states[node_id].best_remote()
-            node.run_optimization(remote, n_nodes)
+            node.run_optimization(remote, n_nodes, solve_cache=solve_cache)
             if self.delta_rounds:
                 # Level moves change the factors this node aggregates;
                 # the next phase must rebuild its local summary.  (The
@@ -583,10 +626,8 @@ class CoronaSystem:
             self.counters.redundant_diffs = self.nodes[
                 manager_id
             ].redundant_diffs
-        if event is not None and manager_id is not None:
-            # A fresh detection advanced the manager's interval/size
-            # estimators — its local summary must be rebuilt.
-            self.aggregator.mark_local_dirty(manager_id)
+        # A fresh detection advances the manager's interval/size
+        # estimators; ``record_update`` dirties it structurally.
         return event
 
     # ------------------------------------------------------------------

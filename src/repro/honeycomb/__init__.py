@@ -30,7 +30,13 @@ This package provides:
 from repro.honeycomb.aggregation import AggregationState, DecentralizedAggregator
 from repro.honeycomb.clusters import ClusterSummary, TradeoffCluster
 from repro.honeycomb.problem import ChannelTradeoff, TradeoffProblem
-from repro.honeycomb.solver import BracketingSolution, HoneycombSolver, Solution
+from repro.honeycomb.solver import (
+    BracketingSolution,
+    HoneycombSolver,
+    ObjectHoneycombSolver,
+    Solution,
+    SolverWork,
+)
 
 __all__ = [
     "AggregationState",
@@ -39,7 +45,9 @@ __all__ = [
     "ClusterSummary",
     "DecentralizedAggregator",
     "HoneycombSolver",
+    "ObjectHoneycombSolver",
     "Solution",
+    "SolverWork",
     "TradeoffCluster",
     "TradeoffProblem",
 ]

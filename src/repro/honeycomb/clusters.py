@@ -199,7 +199,7 @@ class ClusterSummary:
     API; mutating a view does not write back.
     """
 
-    __slots__ = ("bins", "_sums", "_levels")
+    __slots__ = ("bins", "_sums", "_levels", "_fp")
 
     #: See :data:`LEVEL_KEY_SHIFT` — shared with the
     #: :class:`ChannelFactors` level bound.
@@ -213,6 +213,8 @@ class ClusterSummary:
         self._sums = np.zeros((4, bins + 1), dtype=np.float64)
         #: Flattened (slot, level) → channel count histogram.
         self._levels: dict[int, int] = {}
+        #: Cached :meth:`fingerprint`; every mutator resets it.
+        self._fp: tuple | None = None
 
     def add_channel(
         self,
@@ -239,6 +241,7 @@ class ClusterSummary:
         key = (slot << self.LEVEL_SHIFT) | factors.level
         levels = self._levels
         levels[key] = levels.get(key, 0) + 1
+        self._fp = None
 
     def merge(self, other: "ClusterSummary") -> None:
         """Fold another summary into this one, preserving the bin cap."""
@@ -249,6 +252,7 @@ class ClusterSummary:
         get = levels.get
         for key, count in other._levels.items():
             levels[key] = get(key, 0) + count
+        self._fp = None
 
     def copy(self) -> "ClusterSummary":
         """Deep-enough copy for exchange without aliasing."""
@@ -256,6 +260,7 @@ class ClusterSummary:
         duplicate.bins = self.bins
         duplicate._sums = self._sums.copy()
         duplicate._levels = dict(self._levels)
+        duplicate._fp = self._fp  # same value ⇒ same fingerprint
         return duplicate
 
     def replace_with(self, other: "ClusterSummary") -> "ClusterSummary":
@@ -269,7 +274,28 @@ class ClusterSummary:
         self._sums[:] = other._sums
         self._levels.clear()
         self._levels.update(other._levels)
+        self._fp = other._fp
         return self
+
+    def fingerprint(self) -> tuple:
+        """Cheap, hashable value identity of this summary.
+
+        Equal fingerprints ⇔ equal summaries (the packed sums compared
+        byte for byte plus the canonicalized level histogram), so the
+        optimization phase can detect "my inputs did not move" and
+        "our combined problems collide" with one tuple hash instead of
+        re-solving — the solve-memo analogue of the delta rounds'
+        epoch stamps.  Cached until the next mutation: a converged
+        cloud fingerprints each remote summary once, not once per
+        round.
+        """
+        if self._fp is None:
+            self._fp = (
+                self.bins,
+                self._sums.tobytes(),
+                tuple(sorted(self._levels.items())),
+            )
+        return self._fp
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ClusterSummary):

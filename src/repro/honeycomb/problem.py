@@ -104,6 +104,24 @@ class TradeoffProblem:
         """Number of (virtual) channels in the instance."""
         return sum(channel.weight for channel in self.channels)
 
+    def fingerprint(self) -> tuple:
+        """Canonical, hashable identity of this instance.
+
+        Two problems with equal fingerprints have identical solutions
+        (every solver input — the budget and each channel's key,
+        levels, curves and weight — is covered), so the fingerprint is
+        the memo key of :class:`~repro.honeycomb.solver.
+        HoneycombSolver`'s input-hash cache.  Channel order is part of
+        the identity: the bracketing tie-break uses channel indices.
+        """
+        return (
+            self.target,
+            tuple(
+                (ch.key, ch.levels, ch.f, ch.g, ch.weight)
+                for ch in self.channels
+            ),
+        )
+
     def validate(self) -> None:
         """Raise ValueError if any tradeoff violates monotonicity."""
         for channel in self.channels:

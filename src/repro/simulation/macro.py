@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.config import CoronaConfig
 from repro.core.node import CoronaNode
 from repro.honeycomb.aggregation import DecentralizedAggregator
+from repro.honeycomb.solver import SolverWork
 from repro.overlay.hashing import channel_id
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.nodeid import NodeId
@@ -78,6 +79,7 @@ class MacroSimulator:
         horizon: float = 6 * 3600.0,
         bucket_width: float = 600.0,
         delta_rounds: bool = True,
+        memo_solve: bool = True,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -89,6 +91,11 @@ class MacroSimulator:
         #: False restores the eager aggregation sweep (reload + full
         #: recompute per round); results are bit-identical either way.
         self.delta_rounds = delta_rounds
+        #: False restores the eager optimization phase (re-solve every
+        #: manager every round); results are bit-identical either way.
+        self.memo_solve = memo_solve
+        #: Shared solver counters across all manager nodes.
+        self.solver_work = SolverWork()
         self.rng = np.random.default_rng(seed)
 
         # The "corona" address prefix yields a Poisson-typical number
@@ -172,7 +179,14 @@ class MacroSimulator:
         for index, manager in enumerate(self.managers):
             node = self.nodes.get(manager)
             if node is None:
-                node = CoronaNode(manager, self.config, rng_seed=self.seed)
+                node = CoronaNode(
+                    manager,
+                    self.config,
+                    rng_seed=self.seed,
+                    memo_solve=self.memo_solve,
+                    solver_work=self.solver_work,
+                    on_factors_changed=self._mark_owner_dirty,
+                )
                 self.nodes[manager] = node
             channel = node.adopt_channel(
                 trace.urls[index],
@@ -195,6 +209,14 @@ class MacroSimulator:
             bins=self.config.tradeoff_bins,
             delta_rounds=self.delta_rounds,
         )
+
+    def _mark_owner_dirty(self, node_id: NodeId) -> None:
+        """Structural dirty hook (see :class:`~repro.core.system.
+        CoronaSystem`); guarded because channel setup mutates stats
+        before the aggregator exists (everyone starts dirty anyway)."""
+        aggregator = getattr(self, "aggregator", None)
+        if aggregator is not None:
+            aggregator.mark_local_dirty(node_id)
 
     def _prepare_updates(self) -> None:
         """Periodic-with-jitter update event times for every channel."""
@@ -239,9 +261,11 @@ class MacroSimulator:
         )
         self.aggregator.run_round()
         self.aggregator.run_round()
+        # Round-scoped shared-solution cache (memo_solve only).
+        solve_cache: dict | None = {} if self.memo_solve else None
         for node_id, node in self.nodes.items():
             remote = self.aggregator.states[node_id].best_remote()
-            node.run_optimization(remote, self.n_nodes)
+            node.run_optimization(remote, self.n_nodes, solve_cache=solve_cache)
             moved = False
             for url, channel in node.managed.items():
                 index = self._channel_index[url]
