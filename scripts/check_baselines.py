@@ -35,7 +35,17 @@ from repro.scenarios.runner import ScenarioRunner  # noqa: E402
 #: The fixed-seed scenarios CI gates on.  Kept small and fast; the
 #: churn-scale-sweep is exercised by the benchmark suite instead so
 #: its timings land in BENCH_timings_*.json without gating CI runtime.
-BASELINE_SCENARIOS = ("steady-state", "heavy-churn")
+#: The two fault scenarios gate the fault plane end to end: their
+#: baselines pin messages_dropped / retransmissions / repair_diffs /
+#: manager_failovers exactly (fault decisions draw from the plane's
+#: own seeded generator, so they are as deterministic as everything
+#: else).
+BASELINE_SCENARIOS = (
+    "steady-state",
+    "heavy-churn",
+    "lossy-overlay",
+    "partition-heal",
+)
 BASELINE_SEED = 0
 BASELINE_DIR = REPO_ROOT / "ci" / "baselines"
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 import numpy as np
@@ -195,7 +196,42 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         if index:
             print()
         print(metrics.summary())
+    if len(results) > 1:
+        # One table across variants — e.g. scheme-fault-sweep's
+        # per-scheme comparison under the identical fault timeline.
+        print()
+        print(_variant_table(results))
     return 0
+
+
+def _variant_table(results: dict) -> str:
+    """Side-by-side key metrics for a multi-variant run."""
+    rows = []
+    for label, m in results.items():
+        delay = (
+            f"{m.mean_detection_delay:.1f}"
+            if not math.isnan(m.mean_detection_delay)
+            else "n/a"
+        )
+        rows.append(
+            [
+                label,
+                m.detections,
+                delay,
+                f"{m.mean_polls_per_min:.1f}",
+                m.messages_dropped,
+                m.retransmissions,
+                m.repair_diffs,
+                m.manager_failovers,
+            ]
+        )
+    first = next(iter(results.values()))
+    return format_table(
+        ["variant", "detections", "delay (s)", "polls/min", "dropped",
+         "retransmits", "repairs", "failovers"],
+        rows,
+        title=f"{first.scenario} — variant comparison",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

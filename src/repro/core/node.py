@@ -530,6 +530,7 @@ class CoronaNode:
         """
         self.polls_issued += 1
         task.advance()
+        task.record_success()
         new_lines = tuple(self.extractor.core_lines(fetched.document))
         if not task.content.lines and task.content.version == 0:
             # First fetch: prime the cache silently; there is nothing

@@ -24,10 +24,25 @@ class PollTask:
     next_poll: float
     interval: float
     content: ContentState = field(default_factory=ContentState)
+    #: Poll waves in a row that never reached the server (timeout
+    #: after the fault plane's retry budget).  Reset on any poll that
+    #: gets through; purely observational — the schedule itself keeps
+    #: its τ cadence so a healed server is re-polled within one
+    #: interval, which is all the staleness bound needs.
+    consecutive_failures: int = 0
 
     def advance(self) -> None:
         """Schedule the next poll one interval later."""
         self.next_poll += self.interval
+
+    def record_failure(self) -> None:
+        """A poll wave timed out; skip to the next interval."""
+        self.consecutive_failures += 1
+        self.advance()
+
+    def record_success(self) -> None:
+        """A poll reached the server; clear the failure streak."""
+        self.consecutive_failures = 0
 
 
 @dataclass

@@ -22,7 +22,8 @@ from repro.core.channel import Channel
 from repro.core.config import CoronaConfig
 from repro.core.maintenance import DiffMsg, MaintenanceMsg
 from repro.core.node import CoronaNode, DetectionEvent, FetchResult
-from repro.core.dissemination import wedge_recipients
+from repro.core.dissemination import deliver_plan, wedge_recipients
+from repro.faults import FaultPlane
 from repro.diffengine.differ import Diff
 from repro.honeycomb.aggregation import DecentralizedAggregator
 from repro.honeycomb.solver import SolverWork
@@ -39,7 +40,9 @@ class Fetcher:
     (simulation only — the protocol never reads it).
     """
 
-    def fetch(self, url: str, now: float) -> FetchResult:  # pragma: no cover
+    def fetch(
+        self, url: str, now: float, source: str = "corona"
+    ) -> FetchResult:  # pragma: no cover
         raise NotImplementedError
 
     def published_at(self, url: str) -> float | None:  # pragma: no cover
@@ -73,11 +76,24 @@ class CoronaSystem:
         incremental_churn: bool = True,
         delta_rounds: bool = True,
         memo_solve: bool = True,
+        faults: FaultPlane | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
         self.config = config
         self.fetcher = fetcher
+        #: Message-delivery fault model every dissemination hop, wedge
+        #: flood and server poll is routed through.  ``None`` (and an
+        #: inactive plane) is bit-identical to perfect delivery — the
+        #: fault paths below are all gated on the plane being active.
+        self.faults = faults
+        #: Consecutive maintenance rounds in which a manager's floods
+        #: all died (unresponsiveness evidence, fault runs only).
+        self._manager_silent_rounds: dict[NodeId, int] = {}
+        #: Repair-pass quiescence watermark: the plane's drop count as
+        #: of the last pass that found nothing to repair while the
+        #: plane was inactive.  -1 = not quiesced (keep scanning).
+        self._repair_quiesced_at = -1
         #: False restores the pre-incremental churn paths (full
         #: aggregator rebuild + anchor rescan per membership event,
         #: sampled overlay repair) — the benchmarks' rebuild reference.
@@ -506,6 +522,13 @@ class CoronaSystem:
         self.aggregator.run_round()
         self.aggregator.run_round()
 
+    def _transmit_hook(self):
+        """The per-hop delivery decision, or None for perfect links."""
+        plane = self.faults
+        if plane is None or not plane.active:
+            return None
+        return plane.transmit
+
     def run_maintenance_round(self, now: float) -> int:
         """One full optimization + maintenance + aggregation round.
 
@@ -514,10 +537,25 @@ class CoronaSystem:
         staleness, §3.3's piggy-backing), then every manager optimizes
         and steps levels, and the resulting announcements are flooded
         through the wedges.
+
+        On fault runs the round additionally (a) tallies per-manager
+        delivery failures and declares managers whose floods died for
+        ``faults.manager_failure_rounds`` consecutive rounds dead
+        (existing crash-repair path), and (b) runs the anti-entropy
+        repair pass piggy-backed on the round, so wedge members that
+        missed a diff converge within one maintenance interval.
         """
         self.run_aggregation_phase()
         sent = 0
         n_nodes = len(self.overlay)
+        plane = self.faults
+        # Delivery stats are collected whenever a plane is installed
+        # (cheap: a few dict entries per announcing manager) so the
+        # round in which the *first* drop happens already records its
+        # own silence evidence — gating collection on the latch would
+        # discard that round and delay failover by one.
+        track_faults = plane is not None
+        flood_stats: dict[NodeId, list[int]] = {}
         # Round-scoped shared-solution cache: managers whose combined
         # instances collide this round solve once (memo_solve only —
         # the eager reference must re-solve per manager).
@@ -545,13 +583,27 @@ class CoronaSystem:
             else:
                 msgs = node.run_maintenance(now)
             for msg in msgs:
-                sent += self._flood_maintenance(node_id, msg, now)
+                attempted, reached = self._flood_maintenance(
+                    node_id, msg, now
+                )
+                sent += attempted
+                if track_faults:
+                    stats = flood_stats.setdefault(node_id, [0, 0])
+                    stats[0] += attempted
+                    stats[1] += reached
         self.counters.maintenance_messages += sent
+        # Re-read the latch: the very first drop may have happened in
+        # this round's floods, and its victims should not wait a full
+        # extra round for repair.
+        if plane is not None and plane.ever_active:
+            self._detect_unresponsive_managers(flood_stats, now)
+            self._run_repair_pass(now)
         return sent
 
     def _flood_maintenance(
         self, manager_id: NodeId, msg: MaintenanceMsg, now: float
-    ) -> int:
+    ) -> tuple[int, int]:
+        """Flood one announcement; returns (hops sent, hops reached)."""
         cid = channel_id(msg.url)
         plan = wedge_recipients(
             manager_id,
@@ -560,13 +612,122 @@ class CoronaSystem:
             msg.level,
             self.config.base,
         )
-        for _sender, recipient, _depth in plan:
-            self.nodes[recipient].handle_maintenance(msg, cid, now)
+        deliveries, attempted, _unreached = deliver_plan(
+            plan, self._transmit_hook()
+        )
+        for recipient, copies in deliveries:
+            for _ in range(copies):
+                self.nodes[recipient].handle_maintenance(msg, cid, now)
         # Nodes polling at a *deeper* (now abandoned) level must also
         # hear about raises; the wedge at the lower level is a superset
         # of the old one, so the plan above already covers lowers, and
         # raises reach the shrinking wedge because it is a subset.
-        return len(plan)
+        return attempted, len(deliveries)
+
+    def _detect_unresponsive_managers(
+        self, flood_stats: dict[NodeId, list[int]], now: float
+    ) -> None:
+        """Declare managers whose floods keep dying dead (fault runs).
+
+        A manager that attempted deliveries this round and reached
+        nobody is unresponsive evidence (a partitioned or silently
+        dead node looks exactly like this from the cloud's side);
+        after ``manager_failure_rounds`` consecutive silent rounds the
+        cloud gives up on it and triggers the *existing* crash-repair
+        path — §3.3 ownership transfer re-homes its channels with
+        subscription state onto the surviving anchors.
+        """
+        plane = self.faults
+        assert plane is not None
+        victims: list[NodeId] = []
+        for manager_id in self.manager_nodes():
+            attempted, reached = flood_stats.get(manager_id, (0, 0))
+            if attempted == 0:
+                continue  # nothing flooded: no evidence either way
+            if reached == 0:
+                count = self._manager_silent_rounds.get(manager_id, 0) + 1
+                self._manager_silent_rounds[manager_id] = count
+                if count >= plane.manager_failure_rounds:
+                    victims.append(manager_id)
+            else:
+                self._manager_silent_rounds.pop(manager_id, None)
+        victims = victims[: max(0, len(self.nodes) - 1)]
+        if not victims:
+            return
+        for manager_id in victims:
+            self._manager_silent_rounds.pop(manager_id, None)
+        self._fail_wave(victims, now=now)
+        plane.counters.manager_failovers += len(victims)
+
+    def _run_repair_pass(self, now: float) -> int:
+        """Digest-based anti-entropy repair, piggy-backed on the round.
+
+        Each manager compares its latest accepted content against its
+        wedge members' poll caches and re-ships the channel state to
+        any member that lags — so a node whose diff was lost (even
+        after the retransmit budget) converges one maintenance
+        interval after the last loss, preserving the §3.3 one-interval
+        staleness bound under message loss.  Repair messages cross the
+        same fault plane; one lost tonight is retried next round.
+        Returns the number of members repaired.
+        """
+        plane = self.faults
+        if plane is None or not plane.ever_active:
+            return 0
+        drops = plane.counters.messages_dropped
+        if not plane.active and drops == self._repair_quiesced_at:
+            # The last pass after the faults ended found everyone
+            # converged and nothing has been dropped since: the scan
+            # would be pure wasted work until faults return.
+            return 0
+        transmit = plane.transmit
+        # One pass over the cloud: who polls what (plan-order stable).
+        polling: dict[str, list[tuple[NodeId, object]]] = {}
+        for node_id, node in self.nodes.items():
+            for url, task in node.scheduler.tasks.items():
+                polling.setdefault(url, []).append((node_id, task))
+        repaired = 0
+        for url, manager_id in self.managers.items():
+            manager = self.nodes[manager_id]
+            source = manager.scheduler.tasks.get(url)
+            if source is None or not source.content.lines:
+                continue  # the manager holds nothing to repair from
+            digest_version = source.content.version
+            digest_lines = source.content.lines
+            for member_id, task in polling.get(url, ()):
+                if member_id == manager_id:
+                    continue
+                if not task.content.lines and task.content.version == 0:
+                    # Freshly recruited, cache never primed: its first
+                    # poll primes it silently — that is bootstrap, not
+                    # staleness, and needs no repair traffic.
+                    continue
+                # Behind = the member's cache *content* diverges and
+                # the manager's version is not older.  Pure version
+                # skew over identical content (a member recruited
+                # late) is not staleness and is left alone; a member
+                # strictly ahead (it out-polled a lagging manager) is
+                # never dragged backwards — the manager's own poll
+                # repairs the manager instead.
+                behind = (
+                    task.content.lines != digest_lines
+                    and task.content.version <= digest_version
+                )
+                if not behind:
+                    continue
+                if not transmit(manager_id, member_id).delivered:
+                    continue  # lost repair: next round retries
+                task.content.replace(digest_version, digest_lines)
+                plane.counters.repair_diffs += 1
+                repaired += 1
+        if repaired == 0 and not plane.active:
+            # Clean pass on a clean plane: converged.  (Inactive
+            # planes drop nothing, so repaired == 0 here really means
+            # no member is behind, not that a repair message died.)
+            self._repair_quiesced_at = plane.counters.messages_dropped
+        else:
+            self._repair_quiesced_at = -1
+        return repaired
 
     def poll_due(self, now: float) -> list[DetectionEvent]:
         """Execute every poll that has come due across the cloud.
@@ -576,9 +737,20 @@ class CoronaSystem:
         Returns the fresh-detection events for metrics.
         """
         fresh: list[DetectionEvent] = []
+        plane = self.faults
+        faulty = plane is not None and plane.active
         for node_id, node in self.nodes.items():
             for task in node.scheduler.due(now):
-                fetched = self.fetcher.fetch(task.url, now)
+                if faulty and not plane.poll_attempt(node_id):
+                    # Request/response lost (or the server side of a
+                    # partition): the poll times out after its retry
+                    # budget and the task skips to the next interval —
+                    # the channel simply stays stale one τ longer.
+                    task.record_failure()
+                    continue
+                fetched = self.fetcher.fetch(
+                    task.url, now, source=node_id.hex()
+                )
                 self.counters.polls += 1
                 diff_msg = node.execute_poll(task, fetched, now)
                 if diff_msg is None:
@@ -597,11 +769,19 @@ class CoronaSystem:
     def _disseminate(
         self, detector_id: NodeId, msg: DiffMsg, now: float
     ) -> DetectionEvent | None:
-        """Flood a diff through the wedge; deliver to the manager."""
+        """Flood a diff through the wedge; deliver to the manager.
+
+        Every hop rides the fault plane: per-hop retransmits within
+        the budget, subtree cut-off on relays that never got the
+        message, duplicate deliveries exercising the §3.4 dedup.  A
+        diff that never reaches the manager produces no detection
+        event this time — the manager catches up through its own poll
+        or the anti-entropy repair pass.
+        """
         cid = channel_id(msg.url)
         manager_id = self.managers.get(msg.url)
         level = self.nodes[detector_id].polling_level(msg.url)
-        recipients: set[NodeId] = set()
+        plan: list[tuple[NodeId, NodeId, int]] = []
         if level is not None:
             plan = wedge_recipients(
                 detector_id,
@@ -610,16 +790,38 @@ class CoronaSystem:
                 level,
                 self.config.base,
             )
-            recipients.update(recipient for _s, recipient, _d in plan)
-        if manager_id is not None:
-            recipients.add(manager_id)
-        recipients.discard(detector_id)
+        deliveries, attempted, _unreached = deliver_plan(
+            plan, self._transmit_hook()
+        )
+        self.counters.diff_messages += attempted
+        plan_children = {child for _parent, child, _depth in plan}
         event: DetectionEvent | None = None
-        for recipient in recipients:
-            self.counters.diff_messages += 1
-            result = self.nodes[recipient].handle_diff(msg, now)
+        for recipient, copies in deliveries:
+            if recipient == detector_id:
+                continue
+            result: DetectionEvent | None = None
+            for _ in range(copies):
+                fresh = self.nodes[recipient].handle_diff(msg, now)
+                if fresh is not None:
+                    result = fresh
             if recipient == manager_id:
                 event = result
+        if (
+            manager_id is not None
+            and manager_id != detector_id
+            and manager_id not in plan_children
+        ):
+            # The detector forwards the diff to the manager directly
+            # (subscription owners may sit outside the wedge, §3.4).
+            self.counters.diff_messages += 1
+            copies = 1
+            hook = self._transmit_hook()
+            if hook is not None:
+                copies = hook(detector_id, manager_id).deliveries
+            for _ in range(copies):
+                fresh = self.nodes[manager_id].handle_diff(msg, now)
+                if fresh is not None:
+                    event = fresh
         if manager_id == detector_id:
             event = self.nodes[manager_id].handle_diff(msg, now)
         if manager_id is not None:

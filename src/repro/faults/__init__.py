@@ -1,0 +1,31 @@
+"""Message-level fault injection.
+
+The paper evaluates Corona on PlanetLab, where message loss, slow
+links and partitions are the environment, not an edge case.  This
+package models that environment as a :class:`~repro.faults.plane.
+FaultPlane` sitting between the protocol stack and the event engine:
+every dissemination hop, maintenance flood and server poll is offered
+to the plane, which decides — deterministically, from its own seeded
+generator — whether the message is delivered, dropped, duplicated or
+delayed, and whether a named partition separates the endpoints.
+
+The determinism contract: an *inactive* plane (``FaultPlane.none()``,
+or any plane whose rates are zero and whose partition set is empty)
+draws no randomness and takes no code path the fault-free system did
+not already take, so fault-off runs are bit-identical to runs with no
+plane installed at all (``tests/faults/test_fault_equivalence.py``).
+"""
+
+from repro.faults.plane import (
+    FaultCounters,
+    FaultPlane,
+    PartitionIsland,
+    TransmitOutcome,
+)
+
+__all__ = [
+    "FaultCounters",
+    "FaultPlane",
+    "PartitionIsland",
+    "TransmitOutcome",
+]

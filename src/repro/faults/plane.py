@@ -1,0 +1,381 @@
+"""The message-delivery fault model.
+
+:class:`FaultPlane` decides the fate of every message the simulators
+offer it: per-link loss (re-rolled per retransmission, so a bounded
+retry budget genuinely helps), duplication (delivering the same
+message twice, exercising the protocol's §3.4 dedup paths), reorder
+jitter (extra end-to-end delay standing in for out-of-order delivery,
+which a synchronous hop has no queue to express) and named partitions
+(every link crossing the partition boundary is deterministically dead
+until the partition heals).
+
+Determinism has two layers:
+
+* the plane owns its own :class:`random.Random`, so fault decisions
+  never perturb protocol or workload randomness — a run with faults
+  differs from its fault-free twin only through the messages the
+  faults actually touched;
+* an **inactive** plane (all rates zero, no partitions) draws no
+  randomness at all and returns constant outcomes, so installing
+  ``FaultPlane.none()`` is bit-identical to running with no plane —
+  the equivalence contract ``tests/faults/test_fault_equivalence.py``
+  enforces.
+
+``ever_active`` latches the first moment the plane could have harmed
+a message; the system uses it to skip the anti-entropy repair scan on
+runs where nothing can need repair.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+from repro.simulation.latency import JitterModel
+
+
+@dataclass
+class FaultCounters:
+    """What the plane (and the protocol reacting to it) did.
+
+    ``messages_dropped`` counts individual failed transmissions
+    (retransmissions that also died included); ``retransmissions``
+    counts the re-sends the per-hop ack/retry protocol performed;
+    ``repair_diffs`` counts anti-entropy repairs the maintenance
+    rounds shipped; ``failed_polls`` counts polls that exhausted
+    their retry budget without reaching the server;
+    ``manager_failovers`` counts unresponsive managers the cloud
+    declared dead and re-homed through the crash-repair path.
+    """
+
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    retransmissions: int = 0
+    repair_diffs: int = 0
+    failed_polls: int = 0
+    poll_retries: int = 0
+    manager_failovers: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "retransmissions": self.retransmissions,
+            "repair_diffs": self.repair_diffs,
+            "failed_polls": self.failed_polls,
+            "poll_retries": self.poll_retries,
+            "manager_failovers": self.manager_failovers,
+        }
+
+
+@dataclass(frozen=True)
+class PartitionIsland:
+    """One active named partition.
+
+    ``members`` is the isolated side; every link between a member and
+    a non-member is dead while the partition holds.  ``fraction`` is
+    the statistical view the macro simulator consumes (what share of
+    the population sits on the isolated side); ``isolates_servers``
+    additionally cuts members off from the exogenous content servers.
+    """
+
+    name: str
+    members: frozenset = frozenset()
+    fraction: float = 0.0
+    isolates_servers: bool = False
+
+    def separates(self, a: Hashable, b: Hashable) -> bool:
+        return (a in self.members) != (b in self.members)
+
+
+@dataclass(frozen=True)
+class TransmitOutcome:
+    """The fate of one logical message.
+
+    ``deliveries`` is how many copies arrived (0 = lost after the
+    whole retry budget, 2 = delivered plus a duplicate); ``attempts``
+    is the number of transmissions spent (1 + retransmissions).
+    """
+
+    deliveries: int
+    attempts: int
+
+    @property
+    def delivered(self) -> bool:
+        return self.deliveries > 0
+
+
+#: The constant outcome of an inactive plane (no allocation per call).
+CLEAN_DELIVERY = TransmitOutcome(deliveries=1, attempts=1)
+
+
+def _snap(value: float, epsilon: float = 1e-9) -> float:
+    """Clamp to zero, absorbing float residue below ``epsilon``."""
+    return value if value > epsilon else 0.0
+
+
+def _effective_rate(accumulated: float) -> float:
+    """A probability from the (unclamped) additive accumulator."""
+    return min(1.0, accumulated)
+
+
+@dataclass
+class FaultPlane:
+    """Deterministic, seeded message-delivery model (module doc).
+
+    Rates compose additively (the scenario timeline raises them at an
+    event's start and lowers them back at its end, so overlapping
+    loss events never cancel each other), partitions are named and
+    heal individually.  ``retry_budget`` bounds the per-hop
+    retransmissions the protocol spends before giving up on a link;
+    ``manager_failure_rounds`` is how many consecutive all-delivery-
+    failed maintenance rounds the cloud tolerates before declaring a
+    manager dead and triggering crash repair.
+    """
+
+    seed: int = 0
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_jitter: float = 0.0
+    retry_budget: int = 2
+    manager_failure_rounds: int = 2
+    counters: FaultCounters = field(default_factory=FaultCounters)
+    rng: random.Random = field(init=False)
+    jitter: JitterModel = field(init=False)
+    #: Latched True the first time a message or poll is actually
+    #: dropped; never cleared (a healed partition may already have
+    #: cost someone a diff, so repair scans must keep running).  A
+    #: plane that is merely *configured* with faults but has harmed
+    #: nothing yet stays False — nothing can need repair, and the
+    #: protocol's fault-reaction machinery stays cold, preserving
+    #: bit-identity with fault-free runs.
+    ever_active: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1]")
+        if self.reorder_jitter < 0:
+            raise ValueError("reorder_jitter cannot be negative")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget cannot be negative")
+        if self.manager_failure_rounds < 1:
+            raise ValueError("manager_failure_rounds must be >= 1")
+        self.rng = random.Random(f"fault-plane-{self.seed}")
+        self.jitter = JitterModel(width=self.reorder_jitter, rng=self.rng)
+        self.partitions: dict[str, PartitionIsland] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls, seed: int = 0) -> FaultPlane:
+        """A plane that never harms a message (perfect delivery)."""
+        return cls(seed=seed)
+
+    @property
+    def active(self) -> bool:
+        """True when the plane can currently affect a message."""
+        return bool(
+            self.loss_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.reorder_jitter > 0.0
+            or self.partitions
+        )
+
+    # ------------------------------------------------------------------
+    # timeline mutators
+    # ------------------------------------------------------------------
+    def add_loss(
+        self,
+        rate: float,
+        duplicate_rate: float = 0.0,
+        jitter: float = 0.0,
+    ) -> None:
+        """Raise the degradation rates (additively composable).
+
+        The stored accumulators are *not* clamped — overlapping events
+        whose rates sum past 1.0 must subtract back to the surviving
+        event's exact rate when one ends.  Sampling clamps instead
+        (:meth:`_effective_rate`).
+        """
+        self.loss_rate += rate
+        self.duplicate_rate += duplicate_rate
+        self.reorder_jitter += jitter
+        self.jitter.width = self.reorder_jitter
+
+    def remove_loss(
+        self,
+        rate: float,
+        duplicate_rate: float = 0.0,
+        jitter: float = 0.0,
+    ) -> None:
+        """Undo a previous :meth:`add_loss` (clamped at zero).
+
+        Floating-point residue from stacked add/remove pairs is
+        snapped to exactly zero — a 1e-17 "loss rate" must not keep
+        the plane active (and drawing randomness) forever.
+        """
+        self.loss_rate = _snap(self.loss_rate - rate)
+        self.duplicate_rate = _snap(self.duplicate_rate - duplicate_rate)
+        self.reorder_jitter = _snap(self.reorder_jitter - jitter)
+        self.jitter.width = self.reorder_jitter
+
+    def partition(
+        self,
+        name: str,
+        members: Iterable[Hashable] = (),
+        fraction: float = 0.0,
+        isolates_servers: bool = False,
+    ) -> PartitionIsland:
+        """Open a named partition isolating ``members``."""
+        if name in self.partitions:
+            raise ValueError(f"partition {name!r} is already active")
+        island = PartitionIsland(
+            name=name,
+            members=frozenset(members),
+            fraction=fraction,
+            isolates_servers=isolates_servers,
+        )
+        self.partitions[name] = island
+        return island
+
+    def heal(self, name: str) -> PartitionIsland:
+        """Close the named partition; links across it work again."""
+        island = self.partitions.pop(name, None)
+        if island is None:
+            raise ValueError(f"no active partition named {name!r}")
+        return island
+
+    # ------------------------------------------------------------------
+    # message-level model
+    # ------------------------------------------------------------------
+    def partitioned(self, sender: Hashable, recipient: Hashable) -> bool:
+        """True when an active partition separates the endpoints."""
+        return any(
+            island.separates(sender, recipient)
+            for island in self.partitions.values()
+        )
+
+    def server_reachable(self, node: Hashable) -> bool:
+        """Can ``node`` currently reach the content servers?"""
+        return not any(
+            island.isolates_servers and node in island.members
+            for island in self.partitions.values()
+        )
+
+    def transmit(
+        self, sender: Hashable, recipient: Hashable
+    ) -> TransmitOutcome:
+        """Decide the fate of one message with per-hop retransmits.
+
+        Each failed transmission is retried (loss re-rolled) up to
+        ``retry_budget`` times; a partitioned link fails every attempt
+        without touching the generator.  Inactive planes return the
+        shared clean outcome and draw nothing.
+        """
+        if not self.active:
+            return CLEAN_DELIVERY
+        counters = self.counters
+        if self.partitioned(sender, recipient):
+            attempts = self.retry_budget + 1
+            counters.messages_dropped += attempts
+            counters.retransmissions += self.retry_budget
+            self.ever_active = True
+            return TransmitOutcome(deliveries=0, attempts=attempts)
+        loss = _effective_rate(self.loss_rate)
+        attempts = 0
+        delivered = False
+        for _ in range(self.retry_budget + 1):
+            attempts += 1
+            if loss > 0.0 and self.rng.random() < loss:
+                counters.messages_dropped += 1
+                self.ever_active = True
+                continue
+            delivered = True
+            break
+        counters.retransmissions += attempts - 1
+        if not delivered:
+            return TransmitOutcome(deliveries=0, attempts=attempts)
+        deliveries = 1
+        duplicate = _effective_rate(self.duplicate_rate)
+        if duplicate > 0.0 and self.rng.random() < duplicate:
+            deliveries = 2
+            counters.messages_duplicated += 1
+        return TransmitOutcome(deliveries=deliveries, attempts=attempts)
+
+    def poll_attempt(self, node: Hashable) -> bool:
+        """One poll of an exogenous server, with timeout/retry.
+
+        The round trip to a content server crosses the same lossy
+        wide area as overlay messages; a node whose partition isolates
+        the servers fails deterministically.  Returns True when any
+        attempt got through.
+        """
+        if not self.active:
+            return True
+        counters = self.counters
+        if not self.server_reachable(node):
+            counters.failed_polls += 1
+            counters.poll_retries += self.retry_budget
+            self.ever_active = True
+            return False
+        loss = _effective_rate(self.loss_rate)
+        if loss <= 0.0:
+            return True
+        for attempt in range(self.retry_budget + 1):
+            if self.rng.random() >= loss:
+                counters.poll_retries += attempt
+                return True
+        counters.poll_retries += self.retry_budget
+        counters.failed_polls += 1
+        self.ever_active = True
+        return False
+
+    def detection_jitter(self) -> float:
+        """Extra end-to-end delay modelling reordering (0 when off)."""
+        if not self.active:
+            return 0.0
+        return self.jitter.sample()
+
+    # ------------------------------------------------------------------
+    # statistical view (macro simulator)
+    # ------------------------------------------------------------------
+    def effective_loss_rate(self) -> float:
+        """The per-transmission drop probability actually sampled.
+
+        The stored accumulator is additive and unclamped (so stacked
+        events undo exactly); consumers that need the probability —
+        including the macro simulator's expected-drop accounting —
+        must use this clamped view, like :meth:`transmit` itself does.
+        """
+        return _effective_rate(self.loss_rate)
+
+    def isolated_fraction(self) -> float:
+        """Share of the population currently cut off (macro view)."""
+        return min(
+            1.0,
+            sum(island.fraction for island in self.partitions.values()),
+        )
+
+    def server_isolated_fraction(self) -> float:
+        """Share of the population cut off from the content servers.
+
+        Only islands with ``isolates_servers`` count — a member of a
+        peers-only partition still polls successfully, exactly as
+        :meth:`poll_attempt` treats it in the message-level model.
+        """
+        return min(
+            1.0,
+            sum(
+                island.fraction
+                for island in self.partitions.values()
+                if island.isolates_servers
+            ),
+        )
+
+    def poll_success_probability(self) -> float:
+        """P(a poll lands within its retry budget) under current loss."""
+        return 1.0 - self.effective_loss_rate() ** (
+            self.retry_budget + 1
+        )

@@ -24,12 +24,17 @@ from repro.scenarios.registry import (
 from repro.scenarios.runner import ScenarioMetrics, ScenarioRunner
 from repro.scenarios.spec import (
     ChurnWave,
+    CorrelatedManagerFailure,
     FlashCrowd,
+    MessageLoss,
     NetworkDegradation,
     NodeCrash,
     NodeJoin,
+    Partition,
+    PartitionHeal,
     ScenarioSpec,
     ScenarioSpecError,
+    SubscriptionFlap,
     UpdateBurst,
     WorkloadSpec,
 )
@@ -39,14 +44,19 @@ from repro.scenarios import builtin as _builtin  # noqa: E402  (self-registratio
 
 __all__ = [
     "ChurnWave",
+    "CorrelatedManagerFailure",
     "FlashCrowd",
+    "MessageLoss",
     "NetworkDegradation",
     "NodeCrash",
     "NodeJoin",
+    "Partition",
+    "PartitionHeal",
     "ScenarioMetrics",
     "ScenarioRunner",
     "ScenarioSpec",
     "ScenarioSpecError",
+    "SubscriptionFlap",
     "UpdateBurst",
     "WorkloadSpec",
     "get_scenario",

@@ -1,11 +1,14 @@
 """The built-in scenario library.
 
-Seven scenarios covering the paper's evaluation axes and the failure
-modes it argues Corona absorbs: steady-state operation, a §3.1 flash
-crowd, §3.3 churn (sustained and catastrophic), publish-rate bursts,
-Zipf-skew sensitivity and wide-area degradation.  All are sized to
-finish in seconds so they double as CI smoke workloads; scale/perf
-experiments override fields via variants or
+Scenarios covering the paper's evaluation axes and the failure modes
+it argues Corona absorbs: steady-state operation, a §3.1 flash crowd,
+§3.3 churn (sustained and catastrophic), publish-rate bursts,
+Zipf-skew sensitivity, wide-area degradation, and the PlanetLab-
+flavoured fault family (message loss, partitions with heals,
+correlated manager failures, rate-limited servers, subscription
+flapping, and the scheme comparison under identical fault timelines).
+All are sized to finish in seconds so they double as CI smoke
+workloads; scale/perf experiments override fields via variants or
 :meth:`ScenarioSpec.from_dict`.
 """
 
@@ -14,11 +17,16 @@ from __future__ import annotations
 from repro.scenarios.registry import register
 from repro.scenarios.spec import (
     ChurnWave,
+    CorrelatedManagerFailure,
     FlashCrowd,
+    MessageLoss,
     NetworkDegradation,
     NodeCrash,
     NodeJoin,
+    Partition,
+    PartitionHeal,
     ScenarioSpec,
+    SubscriptionFlap,
     UpdateBurst,
     WorkloadSpec,
 )
@@ -233,6 +241,146 @@ STEADY_STATE_4096 = register(
     )
 )
 
+LOSSY_OVERLAY = register(
+    ScenarioSpec(
+        name="lossy-overlay",
+        description=(
+            "PlanetLab weather: 5% wide-area message loss (with "
+            "occasional duplicates) for the middle half hour; per-hop "
+            "retransmits and the maintenance repair pass must hold "
+            "freshness while messages_dropped/retransmissions show "
+            "the cost."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        events=(
+            MessageLoss(
+                at=600.0,
+                duration=1800.0,
+                rate=0.05,
+                duplicate_rate=0.01,
+            ),
+        ),
+    )
+)
+
+PARTITION_HEAL = register(
+    ScenarioSpec(
+        name="partition-heal",
+        description=(
+            "A quarter of the cloud is cut off for 25 minutes, "
+            "servers included, then the partition heals; unresponsive "
+            "managers fail over through crash repair and stranded "
+            "wedge members converge via the anti-entropy pass."
+        ),
+        n_nodes=48,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=24, n_subscriptions=480),
+        events=(
+            Partition(
+                at=900.0,
+                name="island",
+                fraction=0.25,
+                isolates_servers=True,
+            ),
+            PartitionHeal(at=2400.0, name="island"),
+        ),
+    )
+)
+
+CORRELATED_MANAGER_FAILURES = register(
+    ScenarioSpec(
+        name="correlated-manager-failures",
+        description=(
+            "Two correlated blasts take out six channel managers each "
+            "while the wide area is lossy — §3.3 ownership transfer "
+            "under fire, with retransmits and repair carrying the "
+            "wedges through."
+        ),
+        n_nodes=48,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=24, n_subscriptions=480),
+        events=(
+            MessageLoss(at=900.0, duration=1500.0, rate=0.03),
+            CorrelatedManagerFailure(at=1200.0, count=6),
+            CorrelatedManagerFailure(at=1800.0, count=6),
+        ),
+    )
+)
+
+SCHEME_FAULT_SWEEP = register(
+    ScenarioSpec(
+        name="scheme-fault-sweep",
+        description=(
+            "Corona-Lite vs Fast vs Fair under one identical fault "
+            "timeline (5% loss plus a partition that heals) — the "
+            "scheme comparison the paper only ran in steady state, "
+            "as one CLI invocation."
+        ),
+        n_nodes=32,
+        horizon=2700.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        events=(
+            MessageLoss(at=300.0, duration=1800.0, rate=0.05),
+            Partition(at=900.0, name="split", fraction=0.25),
+            PartitionHeal(at=1500.0, name="split"),
+        ),
+        variants={
+            "lite": {"config": {"scheme": "lite"}},
+            "fast": {"config": {"scheme": "fast"}},
+            "fair": {"config": {"scheme": "fair"}},
+        },
+    )
+)
+
+RATE_LIMITED_SERVERS = register(
+    ScenarioSpec(
+        name="rate-limited-servers",
+        description=(
+            "Adversarial content providers: per-IP caps (1.5x the "
+            "polling interval) refuse over-cap polls with the stale "
+            "snapshot — detection must degrade to staleness, never "
+            "errors; the uncapped variant is the control."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(
+            n_channels=40,
+            n_subscriptions=800,
+            rate_limit_spacing=450.0,
+        ),
+        variants={
+            "capped": {},
+            "uncapped": {"workload": {"rate_limit_spacing": 0.0}},
+        },
+    )
+)
+
+SUBSCRIPTION_FLAP = register(
+    ScenarioSpec(
+        name="subscription-flap",
+        description=(
+            "Subscription-plane churn: waves of 20 clients per "
+            "channel flap on and off the four hottest channels every "
+            "two minutes for half an hour — estimators and optimizer "
+            "must ride the treadmill without losing registry state."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        events=(
+            SubscriptionFlap(
+                at=900.0,
+                duration=1800.0,
+                interval=120.0,
+                channels=4,
+                subscribers=20,
+            ),
+        ),
+    )
+)
+
 #: Names guaranteed registered, in narrative order (docs/tests).
 BUILTIN_NAMES = (
     "steady-state",
@@ -244,4 +392,10 @@ BUILTIN_NAMES = (
     "degraded-overlay",
     "churn-scale-sweep",
     "steady-state-4096",
+    "lossy-overlay",
+    "partition-heal",
+    "correlated-manager-failures",
+    "scheme-fault-sweep",
+    "rate-limited-servers",
+    "subscription-flap",
 )

@@ -32,13 +32,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.system import CoronaSystem
+from repro.faults import FaultPlane
 from repro.scenarios.spec import (
     ChurnWave,
+    CorrelatedManagerFailure,
     FlashCrowd,
+    MessageLoss,
     NetworkDegradation,
     NodeCrash,
     NodeJoin,
+    Partition,
+    PartitionHeal,
     ScenarioSpec,
+    SubscriptionFlap,
     UpdateBurst,
 )
 from repro.simulation.engine import EventEngine
@@ -108,6 +114,28 @@ class ScenarioMetrics:
     #: memo_hits + shared_hits — the conserved aggregate the baselines
     #: gate alongside ``problems_solved``.
     solver_work_solve_hits: int
+    #: Fault-plane accounting (all zero on fault-free runs): failed
+    #: transmissions, duplicate deliveries, per-hop retransmits spent,
+    #: anti-entropy repairs shipped by maintenance rounds, polls that
+    #: timed out after their retry budget (and the retries they
+    #: burned), and unresponsive managers the cloud declared dead
+    #: through the crash-repair path.  Deterministic under a fixed
+    #: seed — the fault plane draws from its own generator — so the CI
+    #: baselines gate them exactly like every other metric.
+    messages_dropped: int
+    messages_duplicated: int
+    retransmissions: int
+    repair_diffs: int
+    failed_polls: int
+    poll_retries: int
+    manager_failovers: int
+    #: Server-side refusals under per-IP rate limits (the poll was
+    #: answered with the previous snapshot; staleness, not an error).
+    rate_limited_polls: int
+    #: Subscription-flap wave accounting (subscribe/unsubscribe calls
+    #: issued by :class:`~repro.scenarios.spec.SubscriptionFlap`).
+    flap_subscribes: int
+    flap_unsubscribes: int
     mean_detection_delay: float
     legacy_detection_delay: float
     mean_polls_per_min: float
@@ -155,6 +183,16 @@ class ScenarioMetrics:
             "solver_work_memo_hits": self.solver_work_memo_hits,
             "solver_work_shared_hits": self.solver_work_shared_hits,
             "solver_work_solve_hits": self.solver_work_solve_hits,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "retransmissions": self.retransmissions,
+            "repair_diffs": self.repair_diffs,
+            "failed_polls": self.failed_polls,
+            "poll_retries": self.poll_retries,
+            "manager_failovers": self.manager_failovers,
+            "rate_limited_polls": self.rate_limited_polls,
+            "flap_subscribes": self.flap_subscribes,
+            "flap_unsubscribes": self.flap_unsubscribes,
             "mean_detection_delay": scrub(self.mean_detection_delay),
             "legacy_detection_delay": self.legacy_detection_delay,
             "mean_polls_per_min": self.mean_polls_per_min,
@@ -201,6 +239,12 @@ class ScenarioMetrics:
             f"  solve work : {self.solver_work_problems_solved} problems "
             f"solved, {self.solver_work_memo_hits} memo hits, "
             f"{self.solver_work_shared_hits} shared hits",
+            f"  faults     : {self.messages_dropped} dropped, "
+            f"{self.retransmissions} retransmits, "
+            f"{self.repair_diffs} repairs, "
+            f"{self.failed_polls} failed polls, "
+            f"{self.rate_limited_polls} rate-limited, "
+            f"{self.manager_failovers} manager failovers",
         ]
         return "\n".join(lines)
 
@@ -246,13 +290,19 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
         content_size_scale=workload.content_size_scale,
         arrival=workload.arrival,
     )
-    farm = WebServerFarm(seed=seed + 1)
+    farm = WebServerFarm(
+        seed=seed + 1, rate_limit_spacing=workload.rate_limit_spacing
+    )
     for index, url in enumerate(trace.urls):
         farm.host(
             url,
             update_interval=float(trace.update_intervals[index]),
             target_bytes=int(trace.content_sizes[index]),
         )
+    # One fault plane per run, always installed: inactive (the
+    # fault-free default) it is bit-identical to no plane at all,
+    # and the timeline's fault events mutate it in place.
+    faults = FaultPlane(seed=seed + 5)
     system = CoronaSystem(
         n_nodes=spec.n_nodes,
         config=config,
@@ -260,11 +310,15 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
         seed=seed,
         delta_rounds=spec.delta_rounds,
         memo_solve=spec.memo_solve,
+        faults=faults,
     )
     engine = EventEngine()
     latency = LatencyModel(seed=seed + 2)
     churn_rng = random.Random(seed + 3)
     crowd_rng = random.Random(seed + 4)
+    # Partition membership sampling draws from its own generator so a
+    # fault timeline never perturbs churn/crowd randomness.
+    fault_rng = random.Random(seed + 6)
 
     poll_series = TimeSeries(spec.bucket_width)
     detect_series = TimeSeries(spec.bucket_width)
@@ -295,6 +349,19 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
     # -- injected timeline ---------------------------------------------
     injected = 0
     extra_subscriptions = 0
+    flap_subscribes = 0
+    flap_unsubscribes = 0
+    #: Flap pools still subscribed when the run ends (their arrivals
+    #: then count toward the reported subscription load, keeping
+    #: ``final_registered_subscriptions == total_subscriptions``).
+    flap_pools: list[tuple[dict, int]] = []
+
+    def heal_by_name(name: str) -> None:
+        # Shared by Partition auto-heal and explicit PartitionHeal;
+        # guarded because whichever fires second is a no-op.
+        if name in faults.partitions:
+            faults.heal(name)
+
     for event in spec.events:
         injected += 1
         if isinstance(event, NodeJoin):
@@ -395,6 +462,112 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
                 churn_tick,
                 until=min(event.at + event.duration, spec.horizon),
             )
+        elif isinstance(event, MessageLoss):
+            # Additive compose + inverse undo, like NetworkDegradation:
+            # overlapping loss events never cancel each other.
+            engine.schedule(
+                event.at,
+                lambda now, ev=event: faults.add_loss(
+                    ev.rate, ev.duplicate_rate, ev.jitter
+                ),
+            )
+            engine.schedule(
+                min(event.at + event.duration, spec.horizon),
+                lambda now, ev=event: faults.remove_loss(
+                    ev.rate, ev.duplicate_rate, ev.jitter
+                ),
+            )
+        elif isinstance(event, Partition):
+            # Which island *this* event opened, so its auto-heal timer
+            # never closes a later same-named partition (the explicit
+            # PartitionHeal event, by contrast, heals whatever is
+            # open — that is its meaning).
+            opened_island: dict = {}
+
+            def open_partition(
+                now: float, ev=event, cell=opened_island
+            ) -> None:
+                # Sampled from the population alive *now* — a churned
+                # cloud partitions over its current membership.
+                population = list(system.nodes)
+                count = min(
+                    len(population) - 1,
+                    max(1, round(ev.fraction * len(population))),
+                )
+                members = fault_rng.sample(population, count)
+                cell["island"] = faults.partition(
+                    ev.name,
+                    members=members,
+                    fraction=ev.fraction,
+                    isolates_servers=ev.isolates_servers,
+                )
+
+            def auto_heal(now: float, ev=event, cell=opened_island) -> None:
+                island = cell.get("island")
+                if (
+                    island is not None
+                    and faults.partitions.get(ev.name) is island
+                ):
+                    faults.heal(ev.name)
+
+            engine.schedule(event.at, open_partition)
+            if event.duration is not None:
+                engine.schedule(
+                    min(event.at + event.duration, spec.horizon),
+                    auto_heal,
+                )
+        elif isinstance(event, PartitionHeal):
+            engine.schedule(
+                event.at,
+                lambda now, name=event.name: heal_by_name(name),
+            )
+        elif isinstance(event, CorrelatedManagerFailure):
+            # Victims drawn from the fault generator, like partition
+            # membership: adding a fault-family event must not perturb
+            # the churn/crowd randomness of the rest of the timeline.
+            engine.schedule(
+                event.at,
+                lambda now, ev=event: system.crash_nodes(
+                    ev.count, now=now, rng=fault_rng, target="managers"
+                ),
+            )
+        elif isinstance(event, SubscriptionFlap):
+            flap_urls = trace.urls[: event.channels]
+            flap_state = {"on": False}
+            flap_pools.append(
+                (flap_state, len(flap_urls) * event.subscribers)
+            )
+            flap_prefix = f"flap{injected}"
+
+            def flap_tick(
+                now: float,
+                ev=event,
+                urls=flap_urls,
+                state=flap_state,
+                prefix=flap_prefix,
+            ) -> None:
+                nonlocal flap_subscribes, flap_unsubscribes
+                subscribing = not state["on"]
+                for rank, url in enumerate(urls):
+                    for index in range(ev.subscribers):
+                        client = f"{prefix}-{rank}-{index}"
+                        if subscribing:
+                            system.subscribe(url, client, now)
+                        else:
+                            system.unsubscribe(url, client)
+                count = len(urls) * ev.subscribers
+                if subscribing:
+                    flap_subscribes += count
+                else:
+                    flap_unsubscribes += count
+                state["on"] = subscribing
+
+            engine.schedule_every(
+                event.at,
+                event.interval,
+                flap_tick,
+                until=min(event.at + event.duration, spec.horizon),
+            )
         else:  # pragma: no cover - spec.validate() forbids this
             raise TypeError(f"unhandled event type {type(event)!r}")
 
@@ -421,6 +594,9 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
                 continue
             delay = max(0.0, event.detected_at - event.published_at)
             delay += latency.sample()
+            # Reorder jitter inflates end-to-end freshness (0.0 — and
+            # no randomness — while the fault plane is jitter-free).
+            delay += faults.detection_jitter()
             detect_series.add(now, delay)
             detections += 1
 
@@ -431,6 +607,11 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
 
     # -- collate -------------------------------------------------------
     tau = config.polling_interval
+    for state, pool_size in flap_pools:
+        if state["on"]:
+            # The final wave ended subscribed: those clients are part
+            # of the registered load the run hands back.
+            extra_subscriptions += pool_size
     total_subscriptions = trace.total_subscriptions + extra_subscriptions
     registered = sum(
         system.nodes[manager].registry.count(url)
@@ -469,6 +650,18 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
         solver_work_solve_hits=(
             system.solver_work.memo_hits + system.solver_work.shared_hits
         ),
+        messages_dropped=faults.counters.messages_dropped,
+        messages_duplicated=faults.counters.messages_duplicated,
+        retransmissions=faults.counters.retransmissions,
+        repair_diffs=faults.counters.repair_diffs,
+        failed_polls=faults.counters.failed_polls,
+        poll_retries=faults.counters.poll_retries,
+        manager_failovers=faults.counters.manager_failovers,
+        rate_limited_polls=sum(
+            hosted.rate_limited for hosted in farm.channels.values()
+        ),
+        flap_subscribes=flap_subscribes,
+        flap_unsubscribes=flap_unsubscribes,
         mean_detection_delay=mean_delay,
         legacy_detection_delay=tau / 2.0,
         mean_polls_per_min=system.counters.polls / minutes,

@@ -11,8 +11,12 @@ dicts, hence from JSON) describing
 * the **timeline** — injected events: node churn
   (:class:`NodeJoin`, :class:`NodeCrash`, :class:`ChurnWave`), flash
   crowds (:class:`FlashCrowd`), publish-rate bursts
-  (:class:`UpdateBurst`) and wide-area degradation
-  (:class:`NetworkDegradation`);
+  (:class:`UpdateBurst`), wide-area degradation
+  (:class:`NetworkDegradation`), the message-level fault family
+  (:class:`MessageLoss`, :class:`Partition`, :class:`PartitionHeal`,
+  :class:`CorrelatedManagerFailure` — routed through the
+  :class:`~repro.faults.FaultPlane` the runner installs) and
+  subscription flapping (:class:`SubscriptionFlap`);
 * optional **variants** — named field overrides for parameter sweeps
   (the zipf-skew-sweep scenario runs one variant per exponent).
 
@@ -60,6 +64,11 @@ class WorkloadSpec:
     update_interval_scale: float = 0.05
     content_size_scale: float = 0.2
     url_prefix: str = "http://feeds.example.org/channel"
+    #: Per-(source, channel) minimum poll spacing the content servers
+    #: enforce (the paper's per-IP hard rate limits, §1).  0 disables
+    #: limiting; a spacing above the polling interval refuses part of
+    #: every node's polls, surfacing as staleness, not errors.
+    rate_limit_spacing: float = 0.0
 
     def validate(self) -> None:
         if self.n_channels < 1:
@@ -87,6 +96,10 @@ class WorkloadSpec:
         if self.content_size_scale <= 0:
             raise ScenarioSpecError(
                 "workload.content_size_scale must be positive"
+            )
+        if self.rate_limit_spacing < 0:
+            raise ScenarioSpecError(
+                "workload.rate_limit_spacing cannot be negative"
             )
 
 
@@ -245,9 +258,156 @@ class ChurnWave:
             )
 
 
+# ----------------------------------------------------------------------
+# fault timeline (message-level fault family, routed to the FaultPlane)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MessageLoss:
+    """Wide-area message loss from ``at`` until ``at + duration``.
+
+    Every protocol hop (dissemination, maintenance flood, repair) and
+    every poll round trip drops independently with probability
+    ``rate``, re-rolled per retransmission; ``duplicate_rate``
+    additionally delivers some messages twice (exercising the §3.4
+    dedup), and ``jitter`` adds a U(0, jitter) reorder delay to
+    end-to-end freshness.  Rates compose additively across
+    overlapping events and undo themselves at the event's end.
+    """
+
+    kind: ClassVar[str] = "message-loss"
+
+    at: float
+    duration: float = 600.0
+    rate: float = 0.05
+    duplicate_rate: float = 0.0
+    jitter: float = 0.0
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ScenarioSpecError("message-loss duration must be positive")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ScenarioSpecError("message-loss rate must be in [0, 1]")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ScenarioSpecError(
+                "message-loss duplicate_rate must be in [0, 1]"
+            )
+        if self.jitter < 0:
+            raise ScenarioSpecError("message-loss jitter cannot be negative")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A named network partition opens at ``at``.
+
+    A seeded ``fraction`` of the current population is cut off from
+    the rest (every link crossing the boundary is dead, retransmits
+    included) until a :class:`PartitionHeal` with the same ``name``
+    fires — or, when ``duration`` is set, until it auto-heals.
+    ``isolates_servers`` additionally cuts the island off from the
+    content servers, so its polls time out too.
+    """
+
+    kind: ClassVar[str] = "partition"
+
+    at: float
+    name: str = "partition"
+    fraction: float = 0.25
+    duration: float | None = None
+    isolates_servers: bool = False
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ScenarioSpecError("partition needs a name")
+        if not 0.0 < self.fraction < 1.0:
+            raise ScenarioSpecError(
+                "partition fraction must be in (0, 1)"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ScenarioSpecError(
+                "partition duration must be positive when set"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionHeal:
+    """The named partition closes; links across it work again."""
+
+    kind: ClassVar[str] = "partition-heal"
+
+    at: float
+    name: str = "partition"
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ScenarioSpecError("partition-heal needs a name")
+
+
+@dataclass(frozen=True)
+class CorrelatedManagerFailure:
+    """``count`` channel managers fail *simultaneously* at ``at``.
+
+    The worst case for §3.3 ownership transfer: a correlated blast
+    radius (one rack, one AS) takes out nodes that all own channels,
+    in one wave — unlike :class:`NodeCrash`, this event is part of
+    the fault family and is meant to compose with loss/partitions
+    already in flight.
+    """
+
+    kind: ClassVar[str] = "correlated-manager-failure"
+
+    at: float
+    count: int = 4
+
+    def validate(self) -> None:
+        if self.count < 1:
+            raise ScenarioSpecError(
+                "correlated-manager-failure count must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class SubscriptionFlap:
+    """Subscribe/unsubscribe waves over a channel pool.
+
+    From ``at`` until ``at + duration``, every ``interval`` seconds a
+    wave of ``subscribers`` clients per channel alternately subscribes
+    to and unsubscribes from the top ``channels`` channels by rank —
+    the adversarial churn on the *subscription* plane that keeps
+    managers' factor estimators and the optimizer busy
+    (:class:`ChurnWave`'s analogue for clients instead of nodes).
+    """
+
+    kind: ClassVar[str] = "subscription-flap"
+
+    at: float
+    duration: float = 600.0
+    interval: float = 60.0
+    channels: int = 4
+    subscribers: int = 20
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ScenarioSpecError(
+                "subscription-flap duration must be positive"
+            )
+        if self.interval <= 0:
+            raise ScenarioSpecError(
+                "subscription-flap interval must be positive"
+            )
+        if self.channels < 1:
+            raise ScenarioSpecError(
+                "subscription-flap channels must be >= 1"
+            )
+        if self.subscribers < 1:
+            raise ScenarioSpecError(
+                "subscription-flap subscribers must be >= 1"
+            )
+
+
 ScenarioEvent = Union[
     NodeJoin, NodeCrash, FlashCrowd, UpdateBurst, NetworkDegradation,
-    ChurnWave,
+    ChurnWave, MessageLoss, Partition, PartitionHeal,
+    CorrelatedManagerFailure, SubscriptionFlap,
 ]
 
 #: kind-string → event class, for the plain-dict loader.
@@ -255,7 +415,8 @@ EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (
         NodeJoin, NodeCrash, FlashCrowd, UpdateBurst, NetworkDegradation,
-        ChurnWave,
+        ChurnWave, MessageLoss, Partition, PartitionHeal,
+        CorrelatedManagerFailure, SubscriptionFlap,
     )
 }
 
@@ -362,9 +523,18 @@ class ScenarioSpec:
                     f"range (workload has {self.workload.n_channels} "
                     "channels)"
                 )
+            if (
+                isinstance(event, SubscriptionFlap)
+                and event.channels > self.workload.n_channels
+            ):
+                raise ScenarioSpecError(
+                    f"subscription-flap pool of {event.channels} exceeds "
+                    f"the workload's {self.workload.n_channels} channels"
+                )
+        self._validate_partition_timeline()
         total_crashes = sum(
             event.count for event in self.events
-            if isinstance(event, NodeCrash)
+            if isinstance(event, (NodeCrash, CorrelatedManagerFailure))
         )
         if total_crashes >= self.n_nodes:
             raise ScenarioSpecError(
@@ -377,6 +547,58 @@ class ScenarioSpec:
                     f"variant {label!r} overrides must be a mapping"
                 )
             self.variant_spec(label).validate()
+
+    def _validate_partition_timeline(self) -> None:
+        """Partitions of one name must form open/close pairs in order.
+
+        Catches at validation time what would otherwise crash mid-run
+        (opening a name that is still open raises on the fault plane)
+        or silently misbehave (a heal scheduled before its partition
+        opens is a no-op, leaving the partition open forever).
+        """
+        opens: dict[str, list[Partition]] = {}
+        heals: dict[str, list[float]] = {}
+        for event in self.events:
+            if isinstance(event, Partition):
+                opens.setdefault(event.name, []).append(event)
+            elif isinstance(event, PartitionHeal):
+                heals.setdefault(event.name, []).append(event.at)
+        for name in heals:
+            if name not in opens:
+                raise ScenarioSpecError(
+                    f"partition-heal names {name!r} but no partition "
+                    "event opens it"
+                )
+        for name, events in opens.items():
+            events.sort(key=lambda ev: ev.at)
+            pending_heals = sorted(heals.get(name, []))
+            if pending_heals and pending_heals[0] < events[0].at:
+                raise ScenarioSpecError(
+                    f"partition-heal for {name!r} at "
+                    f"t={pending_heals[0]} fires before the partition "
+                    f"opens at t={events[0].at}"
+                )
+            open_until = float("-inf")
+            for event in events:
+                if event.at < open_until:
+                    raise ScenarioSpecError(
+                        f"partition {name!r} re-opens at t={event.at} "
+                        "while still open (earlier one not healed yet)"
+                    )
+                if event.duration is not None:
+                    open_until = event.at + event.duration
+                    # An explicit heal may close it even earlier.
+                    while pending_heals and pending_heals[0] < event.at:
+                        pending_heals.pop(0)
+                    if pending_heals and pending_heals[0] < open_until:
+                        open_until = pending_heals.pop(0)
+                else:
+                    while pending_heals and pending_heals[0] < event.at:
+                        pending_heals.pop(0)
+                    if not pending_heals:
+                        open_until = float("inf")  # open to the end
+                    else:
+                        open_until = pending_heals.pop(0)
 
     # ------------------------------------------------------------------
     def variant_spec(self, label: str) -> "ScenarioSpec":

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.config import CoronaConfig
 from repro.core.system import CoronaSystem
+from repro.faults import FaultPlane
 from repro.simulation.engine import EventEngine
 from repro.simulation.latency import LatencyModel
 from repro.simulation.metrics import TimeSeries
@@ -47,6 +48,12 @@ class DeploymentResult:
     total_subscriptions: int
     redundant_diffs: int
     final_poll_tasks: int
+    # Fault-plane accounting (all zero on fault-free runs).
+    messages_dropped: int = 0
+    retransmissions: int = 0
+    repair_diffs: int = 0
+    failed_polls: int = 0
+    manager_failovers: int = 0
 
 
 class DeploymentSimulator:
@@ -65,6 +72,7 @@ class DeploymentSimulator:
         injections: Iterable[
             tuple[float, Callable[[CoronaSystem, float], None]]
         ] = (),
+        faults: FaultPlane | None = None,
     ) -> None:
         if not trace.events:
             raise ValueError(
@@ -86,8 +94,14 @@ class DeploymentSimulator:
                 update_interval=float(trace.update_intervals[index]),
                 target_bytes=int(trace.content_sizes[index]),
             )
+        #: Message-delivery fault model; every dissemination hop,
+        #: maintenance flood and poll of the inner system crosses it.
+        #: Timed partition/loss changes arrive through ``injections``
+        #: (the callbacks close over ``simulator.faults``).
+        self.faults = faults
         self.system = CoronaSystem(
-            n_nodes=n_nodes, config=config, fetcher=self.farm, seed=seed
+            n_nodes=n_nodes, config=config, fetcher=self.farm, seed=seed,
+            faults=faults,
         )
         self.poll_series = TimeSeries(bucket_width)
         self.detect_series = TimeSeries(bucket_width)
@@ -145,6 +159,10 @@ class DeploymentSimulator:
                 # Dissemination to subscribers adds the wedge-flood
                 # latency; the paper measures end-to-end freshness.
                 delay += self.latency.sample()
+                if self.faults is not None:
+                    # Reordering windows delay end-to-end delivery
+                    # (0.0 — and no randomness — when jitter is off).
+                    delay += self.faults.detection_jitter()
                 self.detect_series.add(now, delay)
                 self._detections += 1
 
@@ -165,6 +183,11 @@ class DeploymentSimulator:
         redundant = sum(
             node.redundant_diffs for node in self.system.nodes.values()
         )
+        fault_counts = (
+            self.faults.counters
+            if self.faults is not None
+            else None
+        )
         return DeploymentResult(
             bucket_times=self.poll_series.times(),
             corona_polls_per_min=self.poll_series.sums()
@@ -178,4 +201,15 @@ class DeploymentSimulator:
             total_subscriptions=total_subs,
             redundant_diffs=redundant,
             final_poll_tasks=self.system.total_poll_tasks(),
+            messages_dropped=(
+                fault_counts.messages_dropped if fault_counts else 0
+            ),
+            retransmissions=(
+                fault_counts.retransmissions if fault_counts else 0
+            ),
+            repair_diffs=fault_counts.repair_diffs if fault_counts else 0,
+            failed_polls=fault_counts.failed_polls if fault_counts else 0,
+            manager_failovers=(
+                fault_counts.manager_failovers if fault_counts else 0
+            ),
         )

@@ -78,3 +78,25 @@ class UniformLatency:
 
     def sample_path(self, hops: int) -> float:
         return self.delay * hops
+
+
+@dataclass
+class JitterModel:
+    """Uniform extra delay standing in for message reordering.
+
+    A synchronous hop has no queue in which messages can actually
+    overtake each other, so the fault plane models reordering as a
+    U(0, width) delay added to end-to-end delivery — the window inside
+    which a message could have been overtaken.  ``width`` is mutable
+    (the fault timeline raises and lowers it); a zero width samples
+    nothing, drawing no randomness.
+    """
+
+    width: float = 0.0
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def sample(self) -> float:
+        """One reorder delay in seconds (0.0 when the model is off)."""
+        if self.width <= 0.0:
+            return 0.0
+        return self.rng.uniform(0.0, self.width)

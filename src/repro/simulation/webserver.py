@@ -37,6 +37,11 @@ class HostedChannel:
     last_published: float = 0.0
     polls_served: int = 0
     rate_limited: int = 0
+    #: The (document, version, published_at) snapshot of the last
+    #: successfully served poll — what a rate-limited source is handed
+    #: instead of fresh content (the server refuses to do work; the
+    #: refusal surfaces to the poller as staleness, not an error).
+    last_served: tuple[str, int, float | None] | None = None
 
     def version_token(self) -> int:
         """The Last-Modified-derived version, or 0 when unsupported."""
@@ -149,19 +154,34 @@ class WebServerFarm:
         if hosted is None:
             raise KeyError(f"not hosting {url!r}")
         self.advance_to(max(now, self._now))
-        if not self.limiter.allow(source, url, now):
-            hosted.rate_limited += 1
-            # A banned poll returns the previous content unchanged —
-            # the server refuses to do work, it does not error.
         hosted.polls_served += 1
         self.total_polls += 1
+        if not self.limiter.allow(source, url, now):
+            hosted.rate_limited += 1
+            if hosted.last_served is not None:
+                # A banned poll is answered with the previously served
+                # snapshot — the server refuses to do work, it does
+                # not error, so over-cap polling surfaces purely as
+                # staleness on the poller's side.
+                document, version, published = hosted.last_served
+                return FetchResult(
+                    url=url,
+                    document=document,
+                    size=len(document.encode("utf-8")),
+                    server_version=version,
+                    published_at=published,
+                )
         document = hosted.generator.render(now)
+        published_at = hosted.last_published or None
+        hosted.last_served = (
+            document, hosted.version_token(), published_at
+        )
         return FetchResult(
             url=url,
             document=document,
             size=len(document.encode("utf-8")),
             server_version=hosted.version_token(),
-            published_at=hosted.last_published or None,
+            published_at=published_at,
         )
 
     def published_at(self, url: str) -> float | None:

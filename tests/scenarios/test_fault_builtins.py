@@ -1,0 +1,85 @@
+"""The fault built-ins deliver the PR's acceptance criteria.
+
+``lossy-overlay`` must show loss and retransmits in its ``--json``
+metrics while detection keeps working; ``partition-heal`` must fail
+over unresponsive managers without losing subscription state;
+``rate-limited-servers`` must surface per-IP caps as staleness; and
+``scheme-fault-sweep`` must produce a per-scheme comparison table
+from one CLI invocation.
+"""
+
+import json
+
+from repro.cli import main
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import ScenarioRunner
+
+
+class TestLossyOverlay:
+    def test_loss_and_retransmits_visible_detection_survives(self):
+        metrics = ScenarioRunner(
+            get_scenario("lossy-overlay"), seed=0
+        ).run()
+        assert metrics.messages_dropped > 0
+        assert metrics.retransmissions > 0
+        assert metrics.repair_diffs > 0
+        assert metrics.detections > 0
+        # Freshness stays bounded: the repair pass keeps mean delay
+        # an order of magnitude under the legacy tau/2 floor.
+        assert metrics.mean_detection_delay < (
+            metrics.legacy_detection_delay
+        )
+        assert metrics.final_registered_subscriptions == (
+            metrics.total_subscriptions
+        )
+
+
+class TestPartitionHeal:
+    def test_failover_preserves_subscriptions(self):
+        metrics = ScenarioRunner(
+            get_scenario("partition-heal"), seed=0
+        ).run()
+        assert metrics.messages_dropped > 0
+        assert metrics.failed_polls > 0  # the island lost its servers
+        assert metrics.manager_failovers >= 1
+        assert metrics.crashes >= metrics.manager_failovers
+        assert metrics.final_registered_subscriptions == (
+            metrics.total_subscriptions
+        )
+
+
+class TestRateLimitedServers:
+    def test_capped_variant_reports_refusals(self):
+        runner = ScenarioRunner(
+            get_scenario("rate-limited-servers"), seed=0
+        )
+        capped = runner.run("capped")
+        uncapped = runner.run("uncapped")
+        assert capped.rate_limited_polls > 0
+        assert uncapped.rate_limited_polls == 0
+        assert capped.detections < uncapped.detections
+        assert capped.final_registered_subscriptions == (
+            capped.total_subscriptions
+        )
+
+
+class TestSchemeFaultSweep:
+    def test_one_invocation_yields_per_scheme_table(self, capsys):
+        assert main(["scenario", "run", "scheme-fault-sweep"]) == 0
+        out = capsys.readouterr().out
+        # Three per-variant summaries plus the cross-scheme table.
+        for label in ("lite", "fast", "fair"):
+            assert f"[{label}]" in out
+        assert "variant comparison" in out
+        assert "dropped" in out and "retransmits" in out
+
+    def test_json_payload_covers_all_schemes(self, capsys):
+        assert main(
+            ["scenario", "run", "scheme-fault-sweep", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["fair", "fast", "lite"]
+        for label, metrics in payload.items():
+            assert metrics["messages_dropped"] > 0, label
+            assert metrics["retransmissions"] > 0, label
+            assert metrics["detections"] > 0, label

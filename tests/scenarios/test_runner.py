@@ -5,14 +5,20 @@ import json
 
 from repro.scenarios import (
     ChurnWave,
+    CorrelatedManagerFailure,
     FlashCrowd,
+    MessageLoss,
     NetworkDegradation,
     NodeCrash,
     NodeJoin,
+    Partition,
+    PartitionHeal,
     ScenarioRunner,
+    SubscriptionFlap,
     UpdateBurst,
+    WorkloadSpec,
 )
-from tests.scenarios.conftest import tiny_spec
+from tests.scenarios.conftest import TINY_WORKLOAD, tiny_spec
 
 
 def run_tiny(seed=3, **overrides):
@@ -152,6 +158,196 @@ class TestInjection:
         # freshness (dissemination latency is injected on top).
         assert degraded.detections == base.detections
         assert degraded.mean_detection_delay > base.mean_detection_delay
+
+
+class TestMessageFaultInjection:
+    def test_message_loss_drops_and_retransmits(self):
+        lossy = run_tiny(
+            events=(
+                MessageLoss(at=60.0, duration=600.0, rate=0.1),
+            )
+        )
+        assert lossy.messages_dropped > 0
+        assert lossy.retransmissions > 0
+        assert lossy.detections > 0  # the protocol rides the loss
+
+    def test_duplicates_counted_and_absorbed(self):
+        doubled = run_tiny(
+            events=(
+                MessageLoss(
+                    at=60.0, duration=600.0, rate=0.0,
+                    duplicate_rate=0.5,
+                ),
+            )
+        )
+        assert doubled.messages_duplicated > 0
+        # Dedup holds: duplicated diffs never double-count detections.
+        assert doubled.detections <= doubled.updates_published
+
+    def test_jitter_inflates_freshness_only(self):
+        base = run_tiny()
+        jittered = run_tiny(
+            events=(
+                MessageLoss(
+                    at=0.0, duration=900.0, rate=0.0, jitter=120.0
+                ),
+            )
+        )
+        assert jittered.detections == base.detections
+        assert jittered.mean_detection_delay > base.mean_detection_delay
+
+    def test_partition_and_heal(self):
+        cut = run_tiny(
+            events=(
+                Partition(at=240.0, name="cut", fraction=0.4),
+                PartitionHeal(at=600.0, name="cut"),
+            )
+        )
+        assert cut.messages_dropped > 0
+        # Subscription state survives any failover the cut triggered.
+        assert cut.final_registered_subscriptions == (
+            cut.total_subscriptions
+        )
+
+    def test_partition_auto_heal_duration(self):
+        timed = run_tiny(
+            events=(
+                Partition(
+                    at=240.0, name="cut", fraction=0.4,
+                    duration=360.0,
+                ),
+            )
+        )
+        assert timed.messages_dropped > 0
+
+    def test_correlated_manager_failure_crashes_managers(self):
+        blast = run_tiny(
+            events=(CorrelatedManagerFailure(at=300.0, count=2),)
+        )
+        assert blast.crashes == 2
+        assert blast.n_nodes_final == blast.n_nodes_initial - 2
+        assert blast.final_registered_subscriptions == (
+            blast.total_subscriptions
+        )
+
+    def test_stale_auto_heal_timer_is_inert_after_reopen(self):
+        """A Partition's auto-heal timer belongs to *its* island: if
+        the partition was healed early and a new same-named one opened,
+        the stale timer must not close the newcomer.  The run with the
+        stale timer pending must be bit-identical to the twin whose
+        first partition never had a duration."""
+        with_timer = run_tiny(
+            seed=17,
+            events=(
+                Partition(at=120.0, name="p", fraction=0.4,
+                          duration=600.0, isolates_servers=True),
+                PartitionHeal(at=240.0, name="p"),
+                Partition(at=300.0, name="p", fraction=0.4,
+                          isolates_servers=True),
+            ),
+        ).to_dict()
+        without_timer = run_tiny(
+            seed=17,
+            events=(
+                Partition(at=120.0, name="p", fraction=0.4,
+                          isolates_servers=True),
+                PartitionHeal(at=240.0, name="p"),
+                Partition(at=300.0, name="p", fraction=0.4,
+                          isolates_servers=True),
+            ),
+        ).to_dict()
+        assert with_timer == without_timer
+        assert with_timer["failed_polls"] > 0
+
+    def test_fault_runs_are_deterministic(self):
+        events = (
+            MessageLoss(at=60.0, duration=600.0, rate=0.1,
+                        duplicate_rate=0.05, jitter=5.0),
+            Partition(at=300.0, name="cut", fraction=0.3,
+                      duration=240.0, isolates_servers=True),
+        )
+        first = ScenarioRunner(
+            tiny_spec(events=events), seed=21
+        ).run().to_dict()
+        second = ScenarioRunner(
+            tiny_spec(events=events), seed=21
+        ).run().to_dict()
+        assert first == second
+        assert first["messages_dropped"] > 0
+
+
+class TestSubscriptionFlap:
+    def test_flap_waves_subscribe_and_unsubscribe(self):
+        flapped = run_tiny(
+            events=(
+                SubscriptionFlap(
+                    at=120.0, duration=360.0, interval=60.0,
+                    channels=2, subscribers=5,
+                ),
+            )
+        )
+        # Ticks at 120..480 inclusive: 7 waves, alternating on/off,
+        # 2 channels x 5 clients each.
+        assert flapped.flap_subscribes == 4 * 10
+        assert flapped.flap_unsubscribes == 3 * 10
+        # The last wave ended subscribed: the registry carries them,
+        # and the reported totals stay consistent.
+        assert flapped.final_registered_subscriptions == (
+            flapped.total_subscriptions
+        )
+
+    def test_flap_ending_unsubscribed_restores_load(self):
+        base = run_tiny()
+        flapped = run_tiny(
+            events=(
+                SubscriptionFlap(
+                    at=120.0, duration=420.0, interval=60.0,
+                    channels=2, subscribers=5,
+                ),
+            )
+        )
+        # 8 waves: the final one unsubscribes, so the run hands back
+        # exactly the baseline subscription load.
+        assert flapped.flap_subscribes == flapped.flap_unsubscribes
+        assert flapped.total_subscriptions == base.total_subscriptions
+        assert flapped.final_registered_subscriptions == (
+            base.final_registered_subscriptions
+        )
+
+    def test_flap_is_deterministic(self):
+        events = (
+            SubscriptionFlap(
+                at=120.0, duration=360.0, interval=60.0,
+                channels=3, subscribers=4,
+            ),
+        )
+        first = ScenarioRunner(
+            tiny_spec(events=events), seed=8
+        ).run().to_dict()
+        second = ScenarioRunner(
+            tiny_spec(events=events), seed=8
+        ).run().to_dict()
+        assert first == second
+
+
+class TestRateLimitedServers:
+    def test_cap_surfaces_as_staleness_not_errors(self):
+        capped_workload = WorkloadSpec(
+            **{
+                **dataclasses.asdict(TINY_WORKLOAD),
+                "rate_limit_spacing": 180.0,  # 1.5x the 120 s tau
+            }
+        )
+        base = run_tiny()
+        capped = run_tiny(workload=capped_workload)
+        assert capped.rate_limited_polls > 0
+        assert base.rate_limited_polls == 0
+        # Refusals degrade freshness (fewer/later detections), never
+        # crash the run or drop registry state.
+        assert capped.detections <= base.detections
+        assert capped.final_registered_subscriptions == (
+            capped.total_subscriptions
+        )
 
 
 class TestVariants:

@@ -176,3 +176,138 @@ class TestDictRoundTrip:
     def test_from_dict_rejects_non_mapping(self):
         with pytest.raises(ScenarioSpecError, match="mapping"):
             ScenarioSpec.from_dict(["not", "a", "mapping"])
+
+
+class TestFaultEventValidation:
+    """The message-level fault family plus subscription flapping."""
+
+    def test_valid_fault_timeline(self):
+        from repro.scenarios import (
+            CorrelatedManagerFailure,
+            MessageLoss,
+            Partition,
+            PartitionHeal,
+            SubscriptionFlap,
+        )
+
+        tiny_spec(
+            events=(
+                MessageLoss(at=60.0, duration=300.0, rate=0.05),
+                Partition(at=120.0, name="cut", fraction=0.25),
+                PartitionHeal(at=400.0, name="cut"),
+                CorrelatedManagerFailure(at=500.0, count=2),
+                SubscriptionFlap(
+                    at=100.0, duration=300.0, interval=60.0,
+                    channels=2, subscribers=5,
+                ),
+            )
+        ).validate()
+
+    def test_loss_rate_bounds(self):
+        from repro.scenarios import MessageLoss
+
+        with pytest.raises(ScenarioSpecError, match="rate"):
+            tiny_spec(
+                events=(MessageLoss(at=0.0, rate=1.5),)
+            ).validate()
+        with pytest.raises(ScenarioSpecError, match="duplicate_rate"):
+            tiny_spec(
+                events=(MessageLoss(at=0.0, duplicate_rate=-0.1),)
+            ).validate()
+
+    def test_partition_fraction_bounds(self):
+        from repro.scenarios import Partition
+
+        with pytest.raises(ScenarioSpecError, match="fraction"):
+            tiny_spec(
+                events=(Partition(at=0.0, fraction=1.0),)
+            ).validate()
+
+    def test_heal_must_reference_a_partition(self):
+        from repro.scenarios import PartitionHeal
+
+        with pytest.raises(ScenarioSpecError, match="no.*partition"):
+            tiny_spec(
+                events=(PartitionHeal(at=100.0, name="phantom"),)
+            ).validate()
+
+    def test_heal_before_open_rejected(self):
+        from repro.scenarios import Partition, PartitionHeal
+
+        with pytest.raises(ScenarioSpecError, match="before"):
+            tiny_spec(
+                events=(
+                    PartitionHeal(at=100.0, name="cut"),
+                    Partition(at=200.0, name="cut"),
+                )
+            ).validate()
+
+    def test_overlapping_same_name_partitions_rejected(self):
+        from repro.scenarios import Partition
+
+        with pytest.raises(ScenarioSpecError, match="still open"):
+            tiny_spec(
+                events=(
+                    Partition(at=100.0, name="cut"),  # never healed
+                    Partition(at=200.0, name="cut"),
+                )
+            ).validate()
+
+    def test_sequential_same_name_partitions_allowed(self):
+        from repro.scenarios import Partition, PartitionHeal
+
+        tiny_spec(
+            events=(
+                Partition(at=100.0, name="cut", duration=50.0),
+                Partition(at=200.0, name="cut"),
+                PartitionHeal(at=300.0, name="cut"),
+                Partition(at=400.0, name="cut", duration=100.0),
+            )
+        ).validate()
+
+    def test_correlated_failures_count_toward_survivor_guard(self):
+        from repro.scenarios import CorrelatedManagerFailure
+
+        with pytest.raises(ScenarioSpecError, match="survive"):
+            tiny_spec(  # tiny spec has 8 nodes
+                events=(
+                    CorrelatedManagerFailure(at=100.0, count=4),
+                    CorrelatedManagerFailure(at=200.0, count=4),
+                )
+            ).validate()
+
+    def test_flap_pool_bounded_by_workload(self):
+        from repro.scenarios import SubscriptionFlap
+
+        with pytest.raises(ScenarioSpecError, match="flap"):
+            tiny_spec(  # tiny workload has 6 channels
+                events=(
+                    SubscriptionFlap(at=0.0, channels=7),
+                )
+            ).validate()
+
+    def test_rate_limit_spacing_validated(self):
+        bad = WorkloadSpec(rate_limit_spacing=-1.0)
+        with pytest.raises(ScenarioSpecError, match="rate_limit"):
+            tiny_spec(workload=bad).validate()
+
+    def test_fault_events_round_trip_through_dicts(self):
+        from repro.scenarios import (
+            MessageLoss,
+            Partition,
+            PartitionHeal,
+            SubscriptionFlap,
+        )
+
+        spec = tiny_spec(
+            events=(
+                MessageLoss(at=60.0, duration=300.0, rate=0.05,
+                            duplicate_rate=0.01, jitter=1.0),
+                Partition(at=120.0, name="cut", fraction=0.25,
+                          isolates_servers=True),
+                PartitionHeal(at=400.0, name="cut"),
+                SubscriptionFlap(at=100.0, duration=300.0),
+            )
+        )
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec

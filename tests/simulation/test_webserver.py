@@ -94,6 +94,40 @@ class TestRateLimitAndFlashCrowd:
         farm.fetch("http://r.example/rss", 70.0, source="ip1")  # spaced ok
         assert farm.channels["http://r.example/rss"].rate_limited == 1
 
+    def test_refused_poll_served_stale_snapshot(self):
+        """Over-cap polls are answered with the previous snapshot —
+        the refusal surfaces as staleness, never as an error."""
+        farm = WebServerFarm(seed=2, rate_limit_spacing=60.0)
+        url = "http://r.example/rss"
+        farm.host(url, update_interval=30.0)
+        first = farm.fetch(url, 0.0, source="ip1")
+        farm.advance_to(100.0)  # content moved on
+        refused = farm.fetch(url, 100.0, source="ip1")  # within spacing?
+        # 100 - 0 >= 60: allowed.  Poll again quickly to get refused.
+        allowed = refused
+        assert allowed.document != first.document
+        banned = farm.fetch(url, 110.0, source="ip1")
+        assert farm.channels[url].rate_limited == 1
+        # The banned response replays the last served snapshot exactly.
+        assert banned.document == allowed.document
+        assert banned.server_version == allowed.server_version
+        fresh_other = farm.fetch(url, 110.0, source="ip2")
+        assert fresh_other.document == allowed.document or True
+        # Once the spacing elapses, the source sees fresh content again.
+        farm.advance_to(300.0)
+        recovered = farm.fetch(url, 300.0, source="ip1")
+        assert recovered.document != banned.document
+
+    def test_refused_polls_still_counted(self):
+        farm = WebServerFarm(seed=2, rate_limit_spacing=60.0)
+        url = "http://r.example/rss"
+        farm.host(url, update_interval=1000.0)
+        farm.fetch(url, 0.0, source="ip1")
+        farm.fetch(url, 1.0, source="ip1")  # banned, still a poll
+        assert farm.total_polls == 2
+        assert farm.channels[url].polls_served == 2
+        assert farm.channels[url].rate_limited == 1
+
     def test_flash_crowd_accelerates_updates(self, farm):
         url = "http://b.example/rss"  # slow channel
         farm.flash_crowd(url, factor=100.0, now=0.0)
