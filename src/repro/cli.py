@@ -7,13 +7,20 @@ Usage::
     python -m repro deploy   [--nodes N] [--channels N] [--hours H]
     python -m repro scenario list
     python -m repro scenario run <name> [--seed N] [--variant V] [--json]
+                                        [--trace spans.jsonl]
+    python -m repro trace export spans.jsonl -o trace.json [--clock sim]
+    python -m repro bench compare BENCH_a.json BENCH_b.json ...
 
 ``table2`` reproduces the paper's summary table across all schemes;
 ``simulate`` runs one scheme through the macro simulator and prints
 the Figure 3/4 series; ``deploy`` runs the full-protocol deployment
 experiment (Figures 9–10); ``scenario`` drives the declarative
 orchestration subsystem (:mod:`repro.scenarios`) — fault-injection
-timelines over the full protocol stack.
+timelines over the full protocol stack.  ``trace export`` converts a
+``--trace`` span log to Chrome-trace JSON (load it in Perfetto or
+``chrome://tracing``); ``bench compare`` reports timing drift across
+``BENCH_*.json`` artifacts against a rolling baseline.  Global
+``-v``/``-vv`` raise log verbosity, ``-q`` silences warnings.
 """
 
 from __future__ import annotations
@@ -28,6 +35,9 @@ import numpy as np
 from repro.analysis.stats import rank_correlation, steady_state_mean
 from repro.analysis.tables import format_series, format_table
 from repro.core.config import SCHEME_NAMES, CoronaConfig
+from repro.obs import Observability, export_chrome_trace, setup_logging
+from repro.obs.drift import compare_paths
+from repro.obs.trace import read_spans
 from repro.scenarios import (
     ScenarioRunner,
     ScenarioSpecError,
@@ -176,9 +186,14 @@ def cmd_scenario_list(args: argparse.Namespace) -> int:
 
 
 def cmd_scenario_run(args: argparse.Namespace) -> int:
+    sink = None
     try:
         spec = get_scenario(args.name)
-        runner = ScenarioRunner(spec, seed=args.seed)
+        obs = None
+        if args.trace is not None:
+            sink = open(args.trace, "w", encoding="utf-8")
+            obs = Observability.on(sink=sink)
+        runner = ScenarioRunner(spec, seed=args.seed, obs=obs)
         if args.variant is not None:
             results = {args.variant: runner.run(args.variant)}
         else:
@@ -186,6 +201,9 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     except (UnknownScenarioError, ScenarioSpecError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if sink is not None:
+            sink.close()
     if args.json:
         payload = {
             label: metrics.to_dict() for label, metrics in results.items()
@@ -234,10 +252,64 @@ def _variant_table(results: dict) -> str:
     )
 
 
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    """Convert a ``--trace`` JSONL span log to Chrome-trace JSON."""
+    try:
+        with open(args.input, encoding="utf-8") as handle:
+            records = read_spans(handle)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    document = export_chrome_trace(
+        records,
+        clock=args.clock,
+        process_name=f"repro ({args.clock} clock)",
+    )
+    rendered = json.dumps(document, indent=None, separators=(",", ":"))
+    if args.output is None:
+        print(rendered)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(
+            f"wrote {len(document['traceEvents'])} events to "
+            f"{args.output} ({args.clock} clock)"
+        )
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Drift report over timing artifacts (oldest → newest)."""
+    try:
+        report, regressed = compare_paths(
+            args.snapshots, threshold=args.threshold, window=args.window
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report)
+    if regressed:
+        print(
+            f"\n{len(regressed)} benchmark(s) above the "
+            f"+{args.threshold:.0%} drift threshold"
+        )
+        if args.gate:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Corona (NSDI 2006) reproduction experiments",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="log errors only",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -283,13 +355,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit machine-readable metrics instead of the summary",
     )
+    scenario_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write phase/event spans to PATH as JSON-lines "
+             "(convert with 'repro trace export')",
+    )
     scenario_run.set_defaults(func=cmd_scenario_run)
+
+    trace = commands.add_parser(
+        "trace", help="span-trace tooling (export to Chrome trace)"
+    )
+    trace_commands = trace.add_subparsers(
+        dest="trace_command", required=True
+    )
+    trace_export = trace_commands.add_parser(
+        "export",
+        help="convert a --trace JSONL log to Chrome-trace JSON "
+             "(Perfetto / chrome://tracing)",
+    )
+    trace_export.add_argument("input", help="span JSONL from --trace")
+    trace_export.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: stdout)",
+    )
+    trace_export.add_argument(
+        "--clock", choices=("wall", "sim"), default="wall",
+        help="timeline to lay spans out on (default: wall)",
+    )
+    trace_export.set_defaults(func=cmd_trace_export)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark artifact tooling"
+    )
+    bench_commands = bench.add_subparsers(
+        dest="bench_command", required=True
+    )
+    bench_compare = bench_commands.add_parser(
+        "compare",
+        help="drift of the newest BENCH_*.json vs a rolling baseline",
+    )
+    bench_compare.add_argument(
+        "snapshots", nargs="+",
+        help="timing artifacts, oldest first; the last is the candidate",
+    )
+    bench_compare.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative drift that flags a regression (default 0.25)",
+    )
+    bench_compare.add_argument(
+        "--window", type=int, default=8,
+        help="baseline snapshots feeding the rolling median (default 8)",
+    )
+    bench_compare.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero on regressions (default: report only)",
+    )
+    bench_compare.set_defaults(func=cmd_bench_compare)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(-1 if args.quiet else args.verbose)
     return args.func(args)
 
 

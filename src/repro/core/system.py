@@ -14,6 +14,7 @@ the examples use coarse steps).
 from __future__ import annotations
 
 import dataclasses
+import logging
 import random
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
@@ -27,9 +28,15 @@ from repro.faults import FaultPlane
 from repro.diffengine.differ import Diff
 from repro.honeycomb.aggregation import DecentralizedAggregator
 from repro.honeycomb.solver import SolverWork
+from repro.obs import NULL_SPAN, Observability, get_logger
+from repro.obs.log import RateLimited
+from repro.obs.metrics import CounterStruct
 from repro.overlay.hashing import channel_id
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.nodeid import NodeId
+
+
+_log = get_logger(__name__)
 
 
 class Fetcher:
@@ -49,18 +56,41 @@ class Fetcher:
         return None
 
 
-@dataclass
-class SystemCounters:
-    """Aggregate counters across the cloud, for tests and benches."""
+class SystemCounters(CounterStruct):
+    """Aggregate counters across the cloud, for tests and benches.
 
-    polls: int = 0
-    diff_messages: int = 0
-    maintenance_messages: int = 0
-    detections: int = 0
-    redundant_diffs: int = 0
-    joins: int = 0
-    crashes: int = 0
-    rehomed_channels: int = 0
+    ``detections``/``redundant_diffs`` register under prefixed names:
+    the scenario runner owns the unqualified ``detections`` semantics
+    (fresh-content detections with ground-truth timing), which differ
+    from this struct's raw dissemination count.
+    """
+
+    SERIES = (
+        ("polls", "polls", "cooperative polls issued by the cloud"),
+        ("diff_messages", "diff_messages", "diff messages disseminated"),
+        (
+            "maintenance_messages",
+            "maintenance_messages",
+            "maintenance flood messages sent",
+        ),
+        (
+            "detections",
+            "system_detections",
+            "update detections disseminated by the cloud",
+        ),
+        (
+            "redundant_diffs",
+            "system_redundant_diffs",
+            "duplicate diff deliveries suppressed by managers",
+        ),
+        ("joins", "joins", "nodes spliced into the overlay"),
+        ("crashes", "crashes", "node crashes processed"),
+        (
+            "rehomed_channels",
+            "rehomed_channels",
+            "channels re-homed after joins and crashes",
+        ),
+    )
 
 
 class CoronaSystem:
@@ -77,11 +107,17 @@ class CoronaSystem:
         delta_rounds: bool = True,
         memo_solve: bool = True,
         faults: FaultPlane | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
         self.config = config
         self.fetcher = fetcher
+        #: Observability plane: the metrics registry backing every
+        #: counter below plus the (default-disabled) phase tracer.
+        #: Never consulted for protocol decisions — enabling or
+        #: disabling it leaves runs byte-identical.
+        self.obs = obs if obs is not None else Observability.off()
         #: Message-delivery fault model every dissemination hop, wedge
         #: flood and server poll is routed through.  ``None`` (and an
         #: inactive plane) is bit-identical to perfect delivery — the
@@ -90,10 +126,15 @@ class CoronaSystem:
         #: Consecutive maintenance rounds in which a manager's floods
         #: all died (unresponsiveness evidence, fault runs only).
         self._manager_silent_rounds: dict[NodeId, int] = {}
-        #: Repair-pass quiescence watermark: the plane's drop count as
-        #: of the last pass that found nothing to repair while the
-        #: plane was inactive.  -1 = not quiesced (keep scanning).
-        self._repair_quiesced_at = -1
+        #: Channels whose digest may have moved past a wedge member
+        #: since the last clean repair pass: marked on every content
+        #: change and manager move (fault runs only), cleared per url
+        #: by a pass that shipped every needed repair.  The repair
+        #: scan walks only these, making anti-entropy O(change) —
+        #: a url outside the set provably has no lagging member, so
+        #: skipping it performs zero transmit draws, exactly like the
+        #: full scan that found nothing.
+        self._repair_dirty_urls: set[str] = set()
         #: False restores the pre-incremental churn paths (full
         #: aggregator rebuild + anchor rescan per membership event,
         #: sampled overlay repair) — the benchmarks' rebuild reference.
@@ -111,7 +152,7 @@ class CoronaSystem:
         #: (see :attr:`solver_work`).
         self.memo_solve = memo_solve
         #: Cloud-wide solver counters, shared by every node's solver.
-        self.solver_work = SolverWork()
+        self.solver_work = SolverWork(self.obs.registry)
         self.overlay = OverlayNetwork.build(
             n_nodes,
             base=config.base,
@@ -135,9 +176,13 @@ class CoronaSystem:
             self.overlay,
             bins=config.tradeoff_bins,
             delta_rounds=delta_rounds,
+            registry=self.obs.registry,
         )
         self.managers: dict[str, NodeId] = {}
-        self.counters = SystemCounters()
+        self.counters = SystemCounters(self.obs.registry)
+        #: Debug-noise throttle: per-event-key budget so fault storms
+        #: (thousands of drops) cannot drown a ``-vv`` run.
+        self._limited_log = RateLimited(_log, budget=8)
         self.detections: list[DetectionEvent] = []
         self._join_counter = 0
         #: Anchor index: per managed channel, the cached channel id and
@@ -333,6 +378,10 @@ class CoronaSystem:
         # (a pure membership change no stats mutation announces).
         self.aggregator.mark_local_dirty(previous_id)
         self.aggregator.mark_local_dirty(new_manager)
+        if self.faults is not None:
+            # The digest source moved: members may lag the *new*
+            # manager's cache even though no content changed.
+            self._repair_dirty_urls.add(url)
 
     def fail_node(self, node_id: NodeId, now: float = 0.0) -> int:
         """Fail one node; re-home its channels with their subscriptions.
@@ -402,6 +451,9 @@ class CoronaSystem:
         self.managers[url] = anchor
         self._anchor_index[url] = self._anchor_key(anchor, cid)
         self.aggregator.mark_local_dirty(anchor)
+        if self.faults is not None:
+            # Re-homed digest source (see _transfer_channel).
+            self._repair_dirty_urls.add(url)
 
     def _fail_single_rebuild(self, node_id: NodeId, now: float) -> int:
         """The pre-incremental failure path (rebuild reference)."""
@@ -435,6 +487,7 @@ class CoronaSystem:
             bins=self.config.tradeoff_bins,
             base=self.config.base,
             delta_rounds=self.delta_rounds,
+            registry=self.obs.registry,
         )
 
     def manager_nodes(self) -> set[NodeId]:
@@ -458,7 +511,20 @@ class CoronaSystem:
             addresses.append(f"{address_prefix}-{self._join_counter}")
         if not addresses:
             return []
-        return self._join_wave(addresses, now=now)
+        with self.obs.tracer.span(
+            "churn.join", sim_time=now, category="churn"
+        ) as span:
+            joined = self._join_wave(addresses, now=now)
+            if span is not NULL_SPAN:
+                span.set(joined=len(joined), n_nodes=len(self.nodes))
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "join wave: +%d nodes (population %d) at t=%.0f",
+                len(joined),
+                len(self.nodes),
+                now,
+            )
+        return joined
 
     def crash_nodes(
         self,
@@ -498,7 +564,25 @@ class CoronaSystem:
         if victims:
             # One wave ⇒ one overlay repair and one aggregation splice,
             # however many victims (the rebuild path loops internally).
-            self._fail_wave(victims, now=now)
+            with self.obs.tracer.span(
+                "churn.crash", sim_time=now, category="churn"
+            ) as span:
+                rehomed = self._fail_wave(victims, now=now)
+                if span is not NULL_SPAN:
+                    span.set(
+                        crashed=len(victims),
+                        rehomed=rehomed,
+                        n_nodes=len(self.nodes),
+                    )
+            if _log.isEnabledFor(logging.DEBUG):
+                _log.debug(
+                    "crash wave: -%d nodes, %d channels re-homed "
+                    "(population %d) at t=%.0f",
+                    len(victims),
+                    rehomed,
+                    len(self.nodes),
+                    now,
+                )
         return victims
 
     # ------------------------------------------------------------------
@@ -545,7 +629,17 @@ class CoronaSystem:
         repair pass piggy-backed on the round, so wedge members that
         missed a diff converge within one maintenance interval.
         """
-        self.run_aggregation_phase()
+        tracer = self.obs.tracer
+        with tracer.span(
+            "aggregation", sim_time=now, category="phase"
+        ) as span:
+            self.run_aggregation_phase()
+            if span is not NULL_SPAN:
+                work = self.aggregator.work
+                span.set(
+                    summaries_rebuilt=work.summaries_rebuilt,
+                    nodes_dirtied=work.nodes_dirtied,
+                )
         sent = 0
         n_nodes = len(self.overlay)
         plane = self.faults
@@ -560,44 +654,66 @@ class CoronaSystem:
         # instances collide this round solve once (memo_solve only —
         # the eager reference must re-solve per manager).
         solve_cache: dict | None = {} if self.memo_solve else None
-        for node_id, node in self.nodes.items():
-            if not node.managed:
-                continue
-            remote = self.aggregator.states[node_id].best_remote()
-            node.run_optimization(remote, n_nodes, solve_cache=solve_cache)
-            if self.delta_rounds:
-                # Level moves change the factors this node aggregates;
-                # the next phase must rebuild its local summary.  (The
-                # eager reference reloads everyone wholesale, so the
-                # tracking would be dead weight on the reference path.)
-                levels_before = {
-                    url: channel.level
-                    for url, channel in node.managed.items()
-                }
-                msgs = node.run_maintenance(now)
-                if any(
-                    channel.level != levels_before.get(url)
-                    for url, channel in node.managed.items()
-                ):
-                    self.aggregator.mark_local_dirty(node_id)
-            else:
-                msgs = node.run_maintenance(now)
-            for msg in msgs:
-                attempted, reached = self._flood_maintenance(
-                    node_id, msg, now
+        with tracer.span(
+            "optimize", sim_time=now, category="phase"
+        ) as span:
+            solved_before = self.solver_work.problems_solved
+            for node_id, node in self.nodes.items():
+                if not node.managed:
+                    continue
+                remote = self.aggregator.states[node_id].best_remote()
+                node.run_optimization(
+                    remote, n_nodes, solve_cache=solve_cache
                 )
-                sent += attempted
-                if track_faults:
-                    stats = flood_stats.setdefault(node_id, [0, 0])
-                    stats[0] += attempted
-                    stats[1] += reached
+                if self.delta_rounds:
+                    # Level moves change the factors this node
+                    # aggregates; the next phase must rebuild its local
+                    # summary.  (The eager reference reloads everyone
+                    # wholesale, so the tracking would be dead weight on
+                    # the reference path.)
+                    levels_before = {
+                        url: channel.level
+                        for url, channel in node.managed.items()
+                    }
+                    msgs = node.run_maintenance(now)
+                    if any(
+                        channel.level != levels_before.get(url)
+                        for url, channel in node.managed.items()
+                    ):
+                        self.aggregator.mark_local_dirty(node_id)
+                else:
+                    msgs = node.run_maintenance(now)
+                for msg in msgs:
+                    attempted, reached = self._flood_maintenance(
+                        node_id, msg, now
+                    )
+                    sent += attempted
+                    if track_faults:
+                        stats = flood_stats.setdefault(node_id, [0, 0])
+                        stats[0] += attempted
+                        stats[1] += reached
+            if span is not NULL_SPAN:
+                span.set(
+                    maintenance_messages=sent,
+                    problems_solved=(
+                        self.solver_work.problems_solved - solved_before
+                    ),
+                )
         self.counters.maintenance_messages += sent
         # Re-read the latch: the very first drop may have happened in
         # this round's floods, and its victims should not wait a full
         # extra round for repair.
         if plane is not None and plane.ever_active:
-            self._detect_unresponsive_managers(flood_stats, now)
-            self._run_repair_pass(now)
+            with tracer.span(
+                "repair", sim_time=now, category="phase"
+            ) as span:
+                self._detect_unresponsive_managers(flood_stats, now)
+                repaired = self._run_repair_pass(now)
+                if span is not NULL_SPAN:
+                    span.set(
+                        repaired=repaired,
+                        dirty_urls=len(self._repair_dirty_urls),
+                    )
         return sent
 
     def _flood_maintenance(
@@ -656,6 +772,14 @@ class CoronaSystem:
             return
         for manager_id in victims:
             self._manager_silent_rounds.pop(manager_id, None)
+            self._limited_log.info(
+                "failover",
+                "manager %s unresponsive for %d rounds, re-homing "
+                "its channels (t=%.0f)",
+                manager_id.hex()[:8],
+                plane.manager_failure_rounds,
+                now,
+            )
         self._fail_wave(victims, now=now)
         plane.counters.manager_failovers += len(victims)
 
@@ -674,26 +798,38 @@ class CoronaSystem:
         plane = self.faults
         if plane is None or not plane.ever_active:
             return 0
-        drops = plane.counters.messages_dropped
-        if not plane.active and drops == self._repair_quiesced_at:
-            # The last pass after the faults ended found everyone
-            # converged and nothing has been dropped since: the scan
-            # would be pure wasted work until faults return.
+        dirty = self._repair_dirty_urls
+        if not dirty:
+            # Converged and nothing has moved since: every channel's
+            # digest is where the last clean pass left it, so the scan
+            # would be pure wasted work until new change arrives.
+            plane.counters.repair_urls_skipped += len(self.managers)
             return 0
         transmit = plane.transmit
-        # One pass over the cloud: who polls what (plan-order stable).
+        # One pass over the cloud: who polls the dirty channels
+        # (plan-order stable — ``self.nodes`` iteration order, exactly
+        # the order the full scan visited members in).
         polling: dict[str, list[tuple[NodeId, object]]] = {}
         for node_id, node in self.nodes.items():
             for url, task in node.scheduler.tasks.items():
-                polling.setdefault(url, []).append((node_id, task))
+                if url in dirty:
+                    polling.setdefault(url, []).append((node_id, task))
         repaired = 0
+        skipped = 0
         for url, manager_id in self.managers.items():
+            if url not in dirty:
+                # No content change or manager move since this url's
+                # last clean pass ⇒ no member can be behind; the full
+                # scan would draw no randomness here either.
+                skipped += 1
+                continue
             manager = self.nodes[manager_id]
             source = manager.scheduler.tasks.get(url)
             if source is None or not source.content.lines:
                 continue  # the manager holds nothing to repair from
             digest_version = source.content.version
             digest_lines = source.content.lines
+            lost = 0
             for member_id, task in polling.get(url, ()):
                 if member_id == manager_id:
                     continue
@@ -716,17 +852,26 @@ class CoronaSystem:
                 if not behind:
                     continue
                 if not transmit(manager_id, member_id).delivered:
+                    lost += 1
                     continue  # lost repair: next round retries
                 task.content.replace(digest_version, digest_lines)
                 plane.counters.repair_diffs += 1
                 repaired += 1
-        if repaired == 0 and not plane.active:
-            # Clean pass on a clean plane: converged.  (Inactive
-            # planes drop nothing, so repaired == 0 here really means
-            # no member is behind, not that a repair message died.)
-            self._repair_quiesced_at = plane.counters.messages_dropped
-        else:
-            self._repair_quiesced_at = -1
+            if lost == 0:
+                # Every lagging member converged (or none was behind):
+                # the url is clean until its digest moves again.
+                dirty.discard(url)
+        plane.counters.repair_urls_skipped += skipped
+        if repaired:
+            self._limited_log.debug(
+                "repair",
+                "anti-entropy repaired %d members "
+                "(%d channels still dirty, %d clean skipped, t=%.0f)",
+                repaired,
+                len(dirty),
+                skipped,
+                now,
+            )
         return repaired
 
     def poll_due(self, now: float) -> list[DetectionEvent]:
@@ -739,29 +884,56 @@ class CoronaSystem:
         fresh: list[DetectionEvent] = []
         plane = self.faults
         faulty = plane is not None and plane.active
-        for node_id, node in self.nodes.items():
-            for task in node.scheduler.due(now):
-                if faulty and not plane.poll_attempt(node_id):
-                    # Request/response lost (or the server side of a
-                    # partition): the poll times out after its retry
-                    # budget and the task skips to the next interval —
-                    # the channel simply stays stale one τ longer.
-                    task.record_failure()
-                    continue
-                fetched = self.fetcher.fetch(
-                    task.url, now, source=node_id.hex()
-                )
-                self.counters.polls += 1
-                diff_msg = node.execute_poll(task, fetched, now)
-                if diff_msg is None:
-                    continue
-                event = self._disseminate(node_id, diff_msg, now)
-                if event is not None:
-                    published = self.fetcher.published_at(diff_msg.url)
-                    event = dataclasses.replace(
-                        event, published_at=published
+        polls_before = self.counters.polls
+        # Repair bookkeeping runs whenever a plane is installed (even
+        # while inactive): a drop in round k lags members behind diffs
+        # whose content changes happened in any earlier round, so the
+        # dirty set must already know about them.
+        track_repair = plane is not None
+        with self.obs.tracer.span(
+            "poll_batch", sim_time=now, category="phase"
+        ) as span:
+            for node_id, node in self.nodes.items():
+                for task in node.scheduler.due(now):
+                    if faulty and not plane.poll_attempt(node_id):
+                        # Request/response lost (or the server side of
+                        # a partition): the poll times out after its
+                        # retry budget and the task skips to the next
+                        # interval — the channel simply stays stale one
+                        # τ longer.
+                        task.record_failure()
+                        continue
+                    fetched = self.fetcher.fetch(
+                        task.url, now, source=node_id.hex()
                     )
-                    fresh.append(event)
+                    self.counters.polls += 1
+                    version_before = task.content.version
+                    diff_msg = node.execute_poll(task, fetched, now)
+                    if (
+                        track_repair
+                        and task.content.version != version_before
+                    ):
+                        # The poller's cache advanced (prime or fresh
+                        # content): this channel's digest/member
+                        # relation may have shifted — repair must look
+                        # at it again.
+                        self._repair_dirty_urls.add(task.url)
+                    if diff_msg is None:
+                        continue
+                    event = self._disseminate(node_id, diff_msg, now)
+                    if event is not None:
+                        published = self.fetcher.published_at(
+                            diff_msg.url
+                        )
+                        event = dataclasses.replace(
+                            event, published_at=published
+                        )
+                        fresh.append(event)
+            if span is not NULL_SPAN:
+                span.set(
+                    polls=self.counters.polls - polls_before,
+                    detections=len(fresh),
+                )
         self.detections.extend(fresh)
         self.counters.detections += len(fresh)
         return fresh
@@ -778,56 +950,66 @@ class CoronaSystem:
         event this time — the manager catches up through its own poll
         or the anti-entropy repair pass.
         """
-        cid = channel_id(msg.url)
-        manager_id = self.managers.get(msg.url)
-        level = self.nodes[detector_id].polling_level(msg.url)
-        plan: list[tuple[NodeId, NodeId, int]] = []
-        if level is not None:
-            plan = wedge_recipients(
-                detector_id,
-                self.overlay.routing_tables(),
-                cid,
-                level,
-                self.config.base,
+        messages_before = self.counters.diff_messages
+        with self.obs.tracer.span(
+            "dissemination", sim_time=now, category="phase"
+        ) as span:
+            cid = channel_id(msg.url)
+            manager_id = self.managers.get(msg.url)
+            level = self.nodes[detector_id].polling_level(msg.url)
+            plan: list[tuple[NodeId, NodeId, int]] = []
+            if level is not None:
+                plan = wedge_recipients(
+                    detector_id,
+                    self.overlay.routing_tables(),
+                    cid,
+                    level,
+                    self.config.base,
+                )
+            deliveries, attempted, _unreached = deliver_plan(
+                plan, self._transmit_hook()
             )
-        deliveries, attempted, _unreached = deliver_plan(
-            plan, self._transmit_hook()
-        )
-        self.counters.diff_messages += attempted
-        plan_children = {child for _parent, child, _depth in plan}
-        event: DetectionEvent | None = None
-        for recipient, copies in deliveries:
-            if recipient == detector_id:
-                continue
-            result: DetectionEvent | None = None
-            for _ in range(copies):
-                fresh = self.nodes[recipient].handle_diff(msg, now)
-                if fresh is not None:
-                    result = fresh
-            if recipient == manager_id:
-                event = result
-        if (
-            manager_id is not None
-            and manager_id != detector_id
-            and manager_id not in plan_children
-        ):
-            # The detector forwards the diff to the manager directly
-            # (subscription owners may sit outside the wedge, §3.4).
-            self.counters.diff_messages += 1
-            copies = 1
-            hook = self._transmit_hook()
-            if hook is not None:
-                copies = hook(detector_id, manager_id).deliveries
-            for _ in range(copies):
-                fresh = self.nodes[manager_id].handle_diff(msg, now)
-                if fresh is not None:
-                    event = fresh
-        if manager_id == detector_id:
-            event = self.nodes[manager_id].handle_diff(msg, now)
-        if manager_id is not None:
-            self.counters.redundant_diffs = self.nodes[
-                manager_id
-            ].redundant_diffs
+            self.counters.diff_messages += attempted
+            plan_children = {child for _parent, child, _depth in plan}
+            event: DetectionEvent | None = None
+            for recipient, copies in deliveries:
+                if recipient == detector_id:
+                    continue
+                result: DetectionEvent | None = None
+                for _ in range(copies):
+                    fresh = self.nodes[recipient].handle_diff(msg, now)
+                    if fresh is not None:
+                        result = fresh
+                if recipient == manager_id:
+                    event = result
+            if (
+                manager_id is not None
+                and manager_id != detector_id
+                and manager_id not in plan_children
+            ):
+                # The detector forwards the diff to the manager directly
+                # (subscription owners may sit outside the wedge, §3.4).
+                self.counters.diff_messages += 1
+                copies = 1
+                hook = self._transmit_hook()
+                if hook is not None:
+                    copies = hook(detector_id, manager_id).deliveries
+                for _ in range(copies):
+                    fresh = self.nodes[manager_id].handle_diff(msg, now)
+                    if fresh is not None:
+                        event = fresh
+            if manager_id == detector_id:
+                event = self.nodes[manager_id].handle_diff(msg, now)
+            if manager_id is not None:
+                self.counters.redundant_diffs = self.nodes[
+                    manager_id
+                ].redundant_diffs
+            if span is not NULL_SPAN:
+                span.set(
+                    fanout=len(plan),
+                    diff_messages=self.counters.diff_messages
+                    - messages_before,
+                )
         # A fresh detection advances the manager's interval/size
         # estimators; ``record_update`` dirties it structurally.
         return event

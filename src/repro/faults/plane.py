@@ -32,11 +32,11 @@ import random
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import CounterStruct
 from repro.simulation.latency import JitterModel
 
 
-@dataclass
-class FaultCounters:
+class FaultCounters(CounterStruct):
     """What the plane (and the protocol reacting to it) did.
 
     ``messages_dropped`` counts individual failed transmissions
@@ -46,27 +46,55 @@ class FaultCounters:
     rounds shipped; ``failed_polls`` counts polls that exhausted
     their retry budget without reaching the server;
     ``manager_failovers`` counts unresponsive managers the cloud
-    declared dead and re-homed through the crash-repair path.
+    declared dead and re-homed through the crash-repair path;
+    ``repair_urls_skipped`` counts channels the anti-entropy scan
+    proved clean from its dirty set and never walked (work the
+    O(change) repair pass saved — registry-only, not a gated
+    scenario metric).
     """
 
-    messages_dropped: int = 0
-    messages_duplicated: int = 0
-    retransmissions: int = 0
-    repair_diffs: int = 0
-    failed_polls: int = 0
-    poll_retries: int = 0
-    manager_failovers: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "messages_dropped": self.messages_dropped,
-            "messages_duplicated": self.messages_duplicated,
-            "retransmissions": self.retransmissions,
-            "repair_diffs": self.repair_diffs,
-            "failed_polls": self.failed_polls,
-            "poll_retries": self.poll_retries,
-            "manager_failovers": self.manager_failovers,
-        }
+    SERIES = (
+        (
+            "messages_dropped",
+            "messages_dropped",
+            "individual failed transmissions, retransmissions included",
+        ),
+        (
+            "messages_duplicated",
+            "messages_duplicated",
+            "messages delivered twice by the duplication fault",
+        ),
+        (
+            "retransmissions",
+            "retransmissions",
+            "re-sends performed by the per-hop ack/retry protocol",
+        ),
+        (
+            "repair_diffs",
+            "repair_diffs",
+            "anti-entropy repairs shipped by maintenance rounds",
+        ),
+        (
+            "failed_polls",
+            "failed_polls",
+            "polls that exhausted their retry budget",
+        ),
+        (
+            "poll_retries",
+            "poll_retries",
+            "poll re-attempts before success or budget exhaustion",
+        ),
+        (
+            "manager_failovers",
+            "manager_failovers",
+            "unresponsive managers re-homed via crash repair",
+        ),
+        (
+            "repair_urls_skipped",
+            "repair_urls_skipped",
+            "channels the dirty-set repair scan proved clean and skipped",
+        ),
+    )
 
 
 @dataclass(frozen=True)

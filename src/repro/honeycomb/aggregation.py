@@ -58,12 +58,12 @@ from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.honeycomb.clusters import ClusterSummary
+from repro.obs.metrics import CounterStruct
 from repro.overlay.nodeid import NodeId
 from repro.overlay.routing import RoutingTable
 
 
-@dataclass
-class AggregationWork:
+class AggregationWork(CounterStruct):
     """Deterministic value-change counters for aggregation rounds.
 
     ``summaries_rebuilt`` counts per-radius (and local) summaries whose
@@ -75,18 +75,30 @@ class AggregationWork:
     the same run — they measure change flowing through the system, not
     instructions executed — so scenario baselines can gate on them
     exactly while wall-clock timings stay report-only.
+
+    Backed by ``repro.obs`` counter cells; the non-incremental churn
+    path rebuilds its aggregator (and with it this struct) per
+    membership event, and re-registration replaces the prior series to
+    keep that reset visible in the registry too.
     """
 
-    summaries_rebuilt: int = 0
-    cluster_merges: int = 0
-    nodes_dirtied: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "summaries_rebuilt": self.summaries_rebuilt,
-            "cluster_merges": self.cluster_merges,
-            "nodes_dirtied": self.nodes_dirtied,
-        }
+    SERIES = (
+        (
+            "summaries_rebuilt",
+            "work_summaries_rebuilt",
+            "per-radius summaries whose committed value changed",
+        ),
+        (
+            "cluster_merges",
+            "work_cluster_merges",
+            "contact contributions folded into changed summary builds",
+        ),
+        (
+            "nodes_dirtied",
+            "work_nodes_dirtied",
+            "nodes with at least one changed summary, per round",
+        ),
+    )
 
 
 @dataclass
@@ -185,6 +197,7 @@ class DecentralizedAggregator:
         bins: int = 16,
         base: int | None = None,
         delta_rounds: bool = True,
+        registry=None,
     ) -> None:
         self.tables = tables
         self.rows = rows
@@ -199,7 +212,7 @@ class DecentralizedAggregator:
             node_id: AggregationState(node_id=node_id, rows=rows, bins=bins)
             for node_id in tables
         }
-        self.work = AggregationWork()
+        self.work = AggregationWork(registry)
         #: Monotone round clock the delta epoch stamps are drawn from.
         self._clock = 0
         #: Nodes whose owned-channel factors changed since their local
@@ -215,7 +228,11 @@ class DecentralizedAggregator:
 
     @classmethod
     def for_overlay(
-        cls, overlay, bins: int = 16, delta_rounds: bool = True
+        cls,
+        overlay,
+        bins: int = 16,
+        delta_rounds: bool = True,
+        registry=None,
     ) -> "DecentralizedAggregator":
         """Build over an overlay's live routing-table view."""
         return cls(
@@ -224,6 +241,7 @@ class DecentralizedAggregator:
             bins=bins,
             base=overlay.base,
             delta_rounds=delta_rounds,
+            registry=registry,
         )
 
     # ------------------------------------------------------------------

@@ -66,10 +66,10 @@ from itertools import chain
 import numpy as np
 
 from repro.honeycomb.problem import ChannelTradeoff, TradeoffProblem
+from repro.obs.metrics import CounterStruct
 
 
-@dataclass
-class SolverWork:
+class SolverWork(CounterStruct):
     """Deterministic counters for the optimization phase.
 
     ``problems_solved`` counts bracketing solves actually executed;
@@ -84,16 +84,23 @@ class SolverWork:
     reference the equivalence suite compares against.
     """
 
-    problems_solved: int = 0
-    memo_hits: int = 0
-    shared_hits: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "problems_solved": self.problems_solved,
-            "memo_hits": self.memo_hits,
-            "shared_hits": self.shared_hits,
-        }
+    SERIES = (
+        (
+            "problems_solved",
+            "solver_work_problems_solved",
+            "bracketing solves actually executed",
+        ),
+        (
+            "memo_hits",
+            "solver_work_memo_hits",
+            "solves avoided by input-hash memoization",
+        ),
+        (
+            "shared_hits",
+            "solver_work_shared_hits",
+            "solves avoided by the round-scoped shared-solution cache",
+        ),
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,211 @@
+"""Drift-aware perf reporting over ``BENCH_*.json`` timing snapshots.
+
+Wall-clock timings are too noisy to exact-gate (ROADMAP item 5), but
+their *trajectory* is measurable: each benchmark session writes a
+``BENCH_timings_*.json`` artifact (a list of per-benchmark timing
+records — see ``benchmarks/conftest.py``), and this module compares
+the newest snapshot against a **rolling baseline** built from the
+accumulated older ones.
+
+The rolling baseline for a benchmark is the *median of its mean
+timings across the baseline snapshots* — median, not mean, so one
+noisy CI run cannot drag the baseline; relative drift is
+``latest / baseline - 1``.  ``repro bench compare`` and
+``scripts/perf_drift.py`` render the table; CI publishes it
+report-only, which is the measurement groundwork for eventually
+gating (the noise characterization accumulates in the artifacts
+themselves).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "BenchSnapshot",
+    "DriftRow",
+    "load_snapshot",
+    "compute_drift",
+    "format_drift_table",
+    "compare_paths",
+]
+
+
+@dataclass(frozen=True)
+class BenchSnapshot:
+    """One timing artifact: label + benchmark-name → mean seconds."""
+
+    label: str
+    means: dict[str, float]
+
+
+@dataclass(frozen=True)
+class DriftRow:
+    """Drift of one benchmark against the rolling baseline."""
+
+    name: str
+    baseline: float | None  # rolling-median mean (s); None = new bench
+    latest: float | None  # newest snapshot's mean (s); None = removed
+    drift: float | None  # latest/baseline - 1; None when not comparable
+    samples: int  # how many baseline snapshots contained it
+
+
+def load_snapshot(path: str | Path, label: str | None = None) -> BenchSnapshot:
+    """Parse one ``BENCH_timings_*.json`` artifact.
+
+    Accepts the repository's timing format (a JSON list of records
+    with ``fullname``/``name`` and ``mean``); unknown records are
+    skipped rather than fatal so older artifacts keep loading.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    means: dict[str, float] = {}
+    if isinstance(payload, list):
+        for record in payload:
+            if not isinstance(record, dict):
+                continue
+            name = record.get("fullname") or record.get("name")
+            mean = record.get("mean")
+            if isinstance(name, str) and isinstance(mean, (int, float)):
+                means[name] = float(mean)
+    return BenchSnapshot(label=label or path.name, means=means)
+
+
+def compute_drift(
+    snapshots: list[BenchSnapshot], window: int = 8
+) -> list[DriftRow]:
+    """Drift of the last snapshot vs the rolling baseline of the rest.
+
+    ``window`` bounds how many trailing baseline snapshots feed the
+    rolling median (older history stops influencing the gate).  Rows
+    are sorted by descending absolute drift, regressions first, so
+    the report leads with what moved.
+    """
+    if len(snapshots) < 2:
+        raise ValueError(
+            "drift needs at least two snapshots "
+            "(a rolling baseline and the candidate)"
+        )
+    *history, candidate = snapshots
+    history = history[-window:]
+    names: set[str] = set(candidate.means)
+    for snapshot in history:
+        names.update(snapshot.means)
+    rows: list[DriftRow] = []
+    for name in sorted(names):
+        base_samples = [
+            snapshot.means[name]
+            for snapshot in history
+            if name in snapshot.means
+        ]
+        baseline = (
+            statistics.median(base_samples) if base_samples else None
+        )
+        latest = candidate.means.get(name)
+        drift = None
+        if baseline and latest is not None and baseline > 0:
+            drift = latest / baseline - 1.0
+        rows.append(
+            DriftRow(
+                name=name,
+                baseline=baseline,
+                latest=latest,
+                drift=drift,
+                samples=len(base_samples),
+            )
+        )
+    rows.sort(
+        key=lambda row: (
+            -(abs(row.drift) if row.drift is not None else math.inf),
+            row.name,
+        )
+    )
+    return rows
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _fmt_drift(row: DriftRow) -> str:
+    if row.drift is None:
+        if row.baseline is None:
+            return "new"
+        if row.latest is None:
+            return "gone"
+        return "n/a"
+    return f"{row.drift:+.1%}"
+
+
+def format_drift_table(
+    rows: list[DriftRow],
+    threshold: float | None = None,
+    title: str = "Benchmark drift vs rolling baseline",
+) -> str:
+    """Render the drift report (flag column marks threshold breaches)."""
+    table_rows = []
+    for row in rows:
+        flag = ""
+        if (
+            threshold is not None
+            and row.drift is not None
+            and row.drift > threshold
+        ):
+            flag = "REGRESSED"
+        elif (
+            threshold is not None
+            and row.drift is not None
+            and row.drift < -threshold
+        ):
+            flag = "improved"
+        table_rows.append(
+            [
+                row.name,
+                _fmt_seconds(row.baseline),
+                _fmt_seconds(row.latest),
+                _fmt_drift(row),
+                row.samples,
+                flag,
+            ]
+        )
+    return format_table(
+        ["benchmark", "baseline", "latest", "drift", "n", "flag"],
+        table_rows,
+        title=title,
+    )
+
+
+def compare_paths(
+    paths: list[str | Path],
+    threshold: float | None = None,
+    window: int = 8,
+) -> tuple[str, list[DriftRow]]:
+    """Load snapshots (oldest → newest) and render the drift table.
+
+    The last path is the candidate; the earlier ones form the rolling
+    baseline.  Returns ``(report text, regressed rows)`` — callers
+    decide whether regressions gate (CI currently reports only).
+    """
+    snapshots = [load_snapshot(path) for path in paths]
+    rows = compute_drift(snapshots, window=window)
+    report = format_drift_table(rows, threshold=threshold)
+    regressed = [
+        row
+        for row in rows
+        if threshold is not None
+        and row.drift is not None
+        and row.drift > threshold
+    ]
+    return report, regressed

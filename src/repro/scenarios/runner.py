@@ -33,6 +33,8 @@ import numpy as np
 
 from repro.core.system import CoronaSystem
 from repro.faults import FaultPlane
+from repro.faults.plane import FaultCounters
+from repro.obs import Observability
 from repro.scenarios.spec import (
     ChurnWave,
     CorrelatedManagerFailure,
@@ -54,6 +56,33 @@ from repro.simulation.webserver import WebServerFarm
 from repro.workload.trace import generate_trace
 
 
+#: Scenario-metric key → registry series backing it.  One entry here
+#: (plus a slot in ``_COUNTER_KEY_ORDER``) is all it takes to surface
+#: a new registry counter in scenario output — the collation path
+#: below and ``to_dict`` are both driven by these tables.
+REGISTRY_COUNTER_KEYS: tuple[tuple[str, str], ...] = (
+    ("polls", "polls"),
+    ("maintenance_messages", "maintenance_messages"),
+    ("diff_messages", "diff_messages"),
+    ("joins", "joins"),
+    ("crashes", "crashes"),
+    ("rehomed_channels", "rehomed_channels"),
+    ("work_summaries_rebuilt", "work_summaries_rebuilt"),
+    ("work_cluster_merges", "work_cluster_merges"),
+    ("work_nodes_dirtied", "work_nodes_dirtied"),
+    ("solver_work_problems_solved", "solver_work_problems_solved"),
+    ("solver_work_memo_hits", "solver_work_memo_hits"),
+    ("solver_work_shared_hits", "solver_work_shared_hits"),
+    ("messages_dropped", "messages_dropped"),
+    ("messages_duplicated", "messages_duplicated"),
+    ("retransmissions", "retransmissions"),
+    ("repair_diffs", "repair_diffs"),
+    ("failed_polls", "failed_polls"),
+    ("poll_retries", "poll_retries"),
+    ("manager_failovers", "manager_failovers"),
+)
+
+
 @dataclass
 class ScenarioMetrics:
     """Unified output of one scenario run (one variant).
@@ -62,6 +91,26 @@ class ScenarioMetrics:
     bucketed load and detection series every scenario emits, whatever
     its timeline.  ``to_dict`` is JSON-safe and key-sorted rendering
     is deterministic under a fixed seed.
+
+    The gated protocol/work/fault counters live in ``counters`` — one
+    dict collated straight from the run's metrics registry (see
+    ``REGISTRY_COUNTER_KEYS``) rather than three hand-rolled
+    per-subsystem blocks — and stay reachable as attributes
+    (``metrics.polls``…) through ``__getattr__``, so every historical
+    call site and baseline key keeps working unchanged:
+
+    * ``work_*`` — aggregation value-change counters (summaries whose
+      committed value changed, contact contributions merged into
+      those builds, node-dirtied accumulations).  Identical between
+      delta and eager rounds, gated exactly by the CI baselines.
+    * ``solver_work_*`` — optimization-phase execution counters.
+      They legitimately differ between ``memo_solve`` and the eager
+      reference; the baselines gate ``problems_solved`` and the
+      memo+shared sum ``solver_work_solve_hits`` (which cache layer
+      absorbs a given skipped solve can flip across processes).
+    * fault counters — all zero on fault-free runs, deterministic
+      under a fixed seed (the plane draws from its own generator),
+      gated exactly like every other metric.
     """
 
     scenario: str
@@ -77,58 +126,9 @@ class ScenarioMetrics:
     #: only if §3.3 ownership transfer preserved every registry.
     final_registered_subscriptions: int
     injected_events: int
-    polls: int
     server_polls: int
     updates_published: int
     detections: int
-    maintenance_messages: int
-    diff_messages: int
-    joins: int
-    crashes: int
-    rehomed_channels: int
-    #: Aggregation work counters (value changes, not instructions):
-    #: summaries whose committed value changed, contact contributions
-    #: merged into those changed builds, and node-dirtied-per-round
-    #: accumulations.  Deterministic under a fixed seed and identical
-    #: between delta and eager rounds, so the CI baselines gate on
-    #: them exactly — a regression in *work done* fails loudly even
-    #: though wall-clock timings stay report-only.
-    work_summaries_rebuilt: int
-    work_cluster_merges: int
-    work_nodes_dirtied: int
-    #: Solver counters for the optimization phase: instances actually
-    #: solved, solves avoided by input-hash memoization (whole-phase
-    #: short-circuits + solver LRU hits) and solves avoided by the
-    #: round-scoped shared-solution cache.  Unlike the ``work_*``
-    #: counters they describe how the phase was *executed*, so they
-    #: legitimately differ between ``memo_solve`` and the eager
-    #: reference (which reports zero hits) while every protocol metric
-    #: stays bit-identical.  The CI baselines gate on
-    #: ``problems_solved`` and the memo+shared *sum*
-    #: (``solver_work_solve_hits``): which equivalent cache layer
-    #: absorbs a given skipped solve has been observed to flip across
-    #: processes in rare runs, so the split itself is informational.
-    solver_work_problems_solved: int
-    solver_work_memo_hits: int
-    solver_work_shared_hits: int
-    #: memo_hits + shared_hits — the conserved aggregate the baselines
-    #: gate alongside ``problems_solved``.
-    solver_work_solve_hits: int
-    #: Fault-plane accounting (all zero on fault-free runs): failed
-    #: transmissions, duplicate deliveries, per-hop retransmits spent,
-    #: anti-entropy repairs shipped by maintenance rounds, polls that
-    #: timed out after their retry budget (and the retries they
-    #: burned), and unresponsive managers the cloud declared dead
-    #: through the crash-repair path.  Deterministic under a fixed
-    #: seed — the fault plane draws from its own generator — so the CI
-    #: baselines gate them exactly like every other metric.
-    messages_dropped: int
-    messages_duplicated: int
-    retransmissions: int
-    repair_diffs: int
-    failed_polls: int
-    poll_retries: int
-    manager_failovers: int
     #: Server-side refusals under per-IP rate limits (the poll was
     #: answered with the previous snapshot; staleness, not an error).
     rate_limited_polls: int
@@ -141,12 +141,71 @@ class ScenarioMetrics:
     mean_polls_per_min: float
     legacy_polls_per_min: float
     max_channel_server_polls: int
+    #: Registry-collated counters (see class docstring); includes the
+    #: derived ``solver_work_solve_hits`` aggregate.
+    counters: dict[str, int] = field(default_factory=dict)
     bucket_times: list[float] = field(default_factory=list)
     polls_per_min: list[float] = field(default_factory=list)
     detection_bucket_times: list[float] = field(default_factory=list)
     detection_delays: list[float] = field(default_factory=list)
 
+    def __getattr__(self, name: str) -> int:
+        # Only consulted for names not found normally: resolve the
+        # registry-collated counters (metrics.polls, metrics.joins …).
+        counters = self.__dict__.get("counters")
+        if counters is not None and name in counters:
+            return counters[name]
+        raise AttributeError(
+            f"{type(self).__name__!s} has no attribute {name!r}"
+        )
+
     # ------------------------------------------------------------------
+    #: ``to_dict`` key order, byte-compatible with the pre-registry
+    #: serialization (the committed baselines are written in it).
+    _HEAD_KEYS = (
+        "scenario",
+        "variant",
+        "seed",
+        "horizon",
+        "n_nodes_initial",
+        "n_nodes_final",
+        "n_channels",
+        "total_subscriptions",
+        "final_registered_subscriptions",
+        "injected_events",
+        "polls",
+        "server_polls",
+        "updates_published",
+        "detections",
+        "maintenance_messages",
+        "diff_messages",
+        "joins",
+        "crashes",
+        "rehomed_channels",
+        "work_summaries_rebuilt",
+        "work_cluster_merges",
+        "work_nodes_dirtied",
+        "solver_work_problems_solved",
+        "solver_work_memo_hits",
+        "solver_work_shared_hits",
+        "solver_work_solve_hits",
+        "messages_dropped",
+        "messages_duplicated",
+        "retransmissions",
+        "repair_diffs",
+        "failed_polls",
+        "poll_retries",
+        "manager_failovers",
+        "rate_limited_polls",
+        "flap_subscribes",
+        "flap_unsubscribes",
+        "mean_detection_delay",
+        "legacy_detection_delay",
+        "mean_polls_per_min",
+        "legacy_polls_per_min",
+        "max_channel_server_polls",
+    )
+
     def to_dict(self) -> dict:
         """Plain JSON-safe dict (NaN becomes ``None``)."""
         def scrub(value):
@@ -154,55 +213,14 @@ class ScenarioMetrics:
                 return None
             return value
 
-        return {
-            "scenario": self.scenario,
-            "variant": self.variant,
-            "seed": self.seed,
-            "horizon": self.horizon,
-            "n_nodes_initial": self.n_nodes_initial,
-            "n_nodes_final": self.n_nodes_final,
-            "n_channels": self.n_channels,
-            "total_subscriptions": self.total_subscriptions,
-            "final_registered_subscriptions": (
-                self.final_registered_subscriptions
-            ),
-            "injected_events": self.injected_events,
-            "polls": self.polls,
-            "server_polls": self.server_polls,
-            "updates_published": self.updates_published,
-            "detections": self.detections,
-            "maintenance_messages": self.maintenance_messages,
-            "diff_messages": self.diff_messages,
-            "joins": self.joins,
-            "crashes": self.crashes,
-            "rehomed_channels": self.rehomed_channels,
-            "work_summaries_rebuilt": self.work_summaries_rebuilt,
-            "work_cluster_merges": self.work_cluster_merges,
-            "work_nodes_dirtied": self.work_nodes_dirtied,
-            "solver_work_problems_solved": self.solver_work_problems_solved,
-            "solver_work_memo_hits": self.solver_work_memo_hits,
-            "solver_work_shared_hits": self.solver_work_shared_hits,
-            "solver_work_solve_hits": self.solver_work_solve_hits,
-            "messages_dropped": self.messages_dropped,
-            "messages_duplicated": self.messages_duplicated,
-            "retransmissions": self.retransmissions,
-            "repair_diffs": self.repair_diffs,
-            "failed_polls": self.failed_polls,
-            "poll_retries": self.poll_retries,
-            "manager_failovers": self.manager_failovers,
-            "rate_limited_polls": self.rate_limited_polls,
-            "flap_subscribes": self.flap_subscribes,
-            "flap_unsubscribes": self.flap_unsubscribes,
-            "mean_detection_delay": scrub(self.mean_detection_delay),
-            "legacy_detection_delay": self.legacy_detection_delay,
-            "mean_polls_per_min": self.mean_polls_per_min,
-            "legacy_polls_per_min": self.legacy_polls_per_min,
-            "max_channel_server_polls": self.max_channel_server_polls,
-            "bucket_times": list(self.bucket_times),
-            "polls_per_min": list(self.polls_per_min),
-            "detection_bucket_times": list(self.detection_bucket_times),
-            "detection_delays": [scrub(v) for v in self.detection_delays],
-        }
+        out = {key: scrub(getattr(self, key)) for key in self._HEAD_KEYS}
+        out["bucket_times"] = list(self.bucket_times)
+        out["polls_per_min"] = list(self.polls_per_min)
+        out["detection_bucket_times"] = list(self.detection_bucket_times)
+        out["detection_delays"] = [
+            scrub(v) for v in self.detection_delays
+        ]
+        return out
 
     def summary(self) -> str:
         """A deterministic human-readable digest for the CLI."""
@@ -250,12 +268,24 @@ class ScenarioMetrics:
 
 
 class ScenarioRunner:
-    """Execute one spec (and its variants) deterministically."""
+    """Execute one spec (and its variants) deterministically.
 
-    def __init__(self, spec: ScenarioSpec, seed: int = 0) -> None:
+    ``obs`` carries a shared :class:`~repro.obs.Observability` plane
+    into every run — e.g. the CLI's ``--trace`` tracer.  The default
+    builds a fresh registry per run with tracing disabled; either way
+    the metrics are byte-identical (``tests/obs`` enforce it).
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: int = 0,
+        obs: Observability | None = None,
+    ) -> None:
         spec.validate()
         self.spec = spec
         self.seed = seed
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def run(self, variant: str | None = None) -> ScenarioMetrics:
@@ -265,7 +295,7 @@ class ScenarioRunner:
         if variant is not None:
             spec = self.spec.variant_spec(variant)
             label = variant
-        return _execute(spec, label, self.seed)
+        return _execute(spec, label, self.seed, obs=self.obs)
 
     def run_all(self) -> dict[str, ScenarioMetrics]:
         """Every variant (or just the base spec), label → metrics."""
@@ -276,7 +306,15 @@ class ScenarioRunner:
 
 
 # ----------------------------------------------------------------------
-def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
+def _execute(
+    spec: ScenarioSpec,
+    label: str,
+    seed: int,
+    obs: Observability | None = None,
+) -> ScenarioMetrics:
+    if obs is None:
+        obs = Observability.off()
+    tracer = obs.tracer
     config = spec.corona_config()
     workload = spec.workload
     trace = generate_trace(
@@ -301,8 +339,12 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
         )
     # One fault plane per run, always installed: inactive (the
     # fault-free default) it is bit-identical to no plane at all,
-    # and the timeline's fault events mutate it in place.
-    faults = FaultPlane(seed=seed + 5)
+    # and the timeline's fault events mutate it in place.  Its
+    # counters register on the run's registry alongside the system's,
+    # which is where collation reads every gated counter back from.
+    faults = FaultPlane(
+        seed=seed + 5, counters=FaultCounters(obs.registry)
+    )
     system = CoronaSystem(
         n_nodes=spec.n_nodes,
         config=config,
@@ -311,7 +353,23 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
         delta_rounds=spec.delta_rounds,
         memo_solve=spec.memo_solve,
         faults=faults,
+        obs=obs,
     )
+
+    def scheduled(name: str, fn):
+        """Mark a timeline callback with a trace instant when it fires.
+
+        Tracing off (the default) returns ``fn`` unchanged — the
+        timeline runs the exact same callables it always did.
+        """
+        if not tracer.enabled:
+            return fn
+
+        def fire(now: float):
+            tracer.instant(name, sim_time=now, category="scenario")
+            return fn(now)
+
+        return fire
     engine = EventEngine()
     latency = LatencyModel(seed=seed + 2)
     churn_rng = random.Random(seed + 3)
@@ -364,6 +422,18 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
 
     for event in spec.events:
         injected += 1
+        if tracer.enabled:
+            # One instant marker per injected event at its start time.
+            # The callback touches nothing but the tracer, so metrics
+            # stay byte-identical with tracing on (tests/obs assert
+            # this); recurring events additionally mark each tick via
+            # ``scheduled`` below.
+            engine.schedule(
+                min(event.at, spec.horizon),
+                lambda now, _name=f"event.{type(event).__name__}": (
+                    tracer.instant(_name, sim_time=now, category="scenario")
+                ),
+            )
         if isinstance(event, NodeJoin):
             engine.schedule(
                 event.at,
@@ -459,7 +529,7 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
             engine.schedule_every(
                 event.at,
                 event.interval,
-                churn_tick,
+                scheduled("event.ChurnWave.tick", churn_tick),
                 until=min(event.at + event.duration, spec.horizon),
             )
         elif isinstance(event, MessageLoss):
@@ -565,7 +635,7 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
             engine.schedule_every(
                 event.at,
                 event.interval,
-                flap_tick,
+                scheduled("event.SubscriptionFlap.tick", flap_tick),
                 until=min(event.at + event.duration, spec.horizon),
             )
         else:  # pragma: no cover - spec.validate() forbids this
@@ -603,7 +673,15 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
     engine.schedule_every(
         spec.poll_tick, spec.poll_tick, poll_round, until=spec.horizon
     )
-    engine.run_until(spec.horizon)
+    with tracer.span("scenario.run", sim_time=0.0, category="scenario") as run_span:
+        engine.run_until(spec.horizon)
+        if tracer.enabled:
+            run_span.set(
+                scenario=spec.name,
+                variant=label,
+                seed=seed,
+                horizon=spec.horizon,
+            )
 
     # -- collate -------------------------------------------------------
     tau = config.polling_interval
@@ -621,6 +699,18 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
     mean_delay = float(np.nanmean(delays)) if len(delays) else float("nan")
     minutes = spec.horizon / 60.0
     poll_counts = farm.poll_counts()
+    # One registry-driven serialization path for every gated counter:
+    # the subsystems already registered their series (SystemCounters,
+    # AggregationWork, SolverWork, FaultCounters), so collation is a
+    # table lookup, not three hand-rolled per-subsystem blocks.
+    counters = {
+        key: int(obs.registry.value(name))
+        for key, name in REGISTRY_COUNTER_KEYS
+    }
+    counters["solver_work_solve_hits"] = (
+        counters["solver_work_memo_hits"]
+        + counters["solver_work_shared_hits"]
+    )
     return ScenarioMetrics(
         scenario=spec.name,
         variant=label,
@@ -632,31 +722,10 @@ def _execute(spec: ScenarioSpec, label: str, seed: int) -> ScenarioMetrics:
         total_subscriptions=total_subscriptions,
         final_registered_subscriptions=registered,
         injected_events=injected,
-        polls=system.counters.polls,
         server_polls=farm.total_polls,
         updates_published=farm.total_updates,
         detections=detections,
-        maintenance_messages=system.counters.maintenance_messages,
-        diff_messages=system.counters.diff_messages,
-        joins=system.counters.joins,
-        crashes=system.counters.crashes,
-        rehomed_channels=system.counters.rehomed_channels,
-        work_summaries_rebuilt=system.aggregator.work.summaries_rebuilt,
-        work_cluster_merges=system.aggregator.work.cluster_merges,
-        work_nodes_dirtied=system.aggregator.work.nodes_dirtied,
-        solver_work_problems_solved=system.solver_work.problems_solved,
-        solver_work_memo_hits=system.solver_work.memo_hits,
-        solver_work_shared_hits=system.solver_work.shared_hits,
-        solver_work_solve_hits=(
-            system.solver_work.memo_hits + system.solver_work.shared_hits
-        ),
-        messages_dropped=faults.counters.messages_dropped,
-        messages_duplicated=faults.counters.messages_duplicated,
-        retransmissions=faults.counters.retransmissions,
-        repair_diffs=faults.counters.repair_diffs,
-        failed_polls=faults.counters.failed_polls,
-        poll_retries=faults.counters.poll_retries,
-        manager_failovers=faults.counters.manager_failovers,
+        counters=counters,
         rate_limited_polls=sum(
             hosted.rate_limited for hosted in farm.channels.values()
         ),

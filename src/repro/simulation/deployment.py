@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.config import CoronaConfig
 from repro.core.system import CoronaSystem
 from repro.faults import FaultPlane
+from repro.obs import Observability
 from repro.simulation.engine import EventEngine
 from repro.simulation.latency import LatencyModel
 from repro.simulation.metrics import TimeSeries
@@ -73,6 +74,7 @@ class DeploymentSimulator:
             tuple[float, Callable[[CoronaSystem, float], None]]
         ] = (),
         faults: FaultPlane | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if not trace.events:
             raise ValueError(
@@ -99,9 +101,10 @@ class DeploymentSimulator:
         #: Timed partition/loss changes arrive through ``injections``
         #: (the callbacks close over ``simulator.faults``).
         self.faults = faults
+        self.obs = obs if obs is not None else Observability.off()
         self.system = CoronaSystem(
             n_nodes=n_nodes, config=config, fetcher=self.farm, seed=seed,
-            faults=faults,
+            faults=faults, obs=self.obs,
         )
         self.poll_series = TimeSeries(bucket_width)
         self.detect_series = TimeSeries(bucket_width)

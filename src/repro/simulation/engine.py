@@ -10,8 +10,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 from collections.abc import Callable
 from dataclasses import dataclass, field
+
+from repro.obs.log import get_logger, should_log
+
+_log = get_logger(__name__)
 
 
 @dataclass(order=True)
@@ -135,6 +140,10 @@ class EventEngine:
         ``horizon`` even if the heap empties earlier.
         """
         executed = 0
+        # Sampled progress at DEBUG: power-of-two event counts only,
+        # so million-event runs stay readable (and the enabled check
+        # runs once, outside the hot loop).
+        debug = _log.isEnabledFor(logging.DEBUG)
         while self._heap and self._heap[0].time <= horizon:
             event = heapq.heappop(self._heap)
             if event.cancelled:
@@ -142,6 +151,13 @@ class EventEngine:
             self.now = event.time
             event.callback(event.time)
             executed += 1
+            if debug and should_log(executed, every=1 << 20):
+                _log.debug(
+                    "engine: %d events executed, t=%.0f (%d pending)",
+                    self.executed + executed,
+                    self.now,
+                    len(self._heap),
+                )
         self.now = max(self.now, horizon)
         self.executed += executed
         return executed

@@ -38,6 +38,7 @@ from repro.core.node import CoronaNode
 from repro.faults import FaultPlane
 from repro.honeycomb.aggregation import DecentralizedAggregator
 from repro.honeycomb.solver import SolverWork
+from repro.obs import NULL_SPAN, Observability
 from repro.overlay.hashing import channel_id
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.nodeid import NodeId
@@ -86,6 +87,7 @@ class MacroSimulator:
         fault_injections: Iterable[
             tuple[float, Callable[[FaultPlane, float], None]]
         ] = (),
+        obs: Observability | None = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -100,8 +102,9 @@ class MacroSimulator:
         #: False restores the eager optimization phase (re-solve every
         #: manager every round); results are bit-identical either way.
         self.memo_solve = memo_solve
+        self.obs = obs if obs is not None else Observability.off()
         #: Shared solver counters across all manager nodes.
-        self.solver_work = SolverWork()
+        self.solver_work = SolverWork(self.obs.registry)
         #: Statistical fault view: the macro simulator does not move
         #: individual messages, so loss and partitions enter the poll-
         #: outcome law instead — with per-poll success probability
@@ -226,6 +229,7 @@ class MacroSimulator:
             self.overlay,
             bins=self.config.tradeoff_bins,
             delta_rounds=self.delta_rounds,
+            registry=self.obs.registry,
         )
 
     def _mark_owner_dirty(self, node_id: NodeId) -> None:
@@ -355,7 +359,18 @@ class MacroSimulator:
             # paper's setups).
             while next_maint < t1 - 1e-9:
                 if next_maint >= t0 - 1e-9:
-                    self._run_control_round()
+                    with self.obs.tracer.span(
+                        "macro.control_round",
+                        sim_time=next_maint,
+                        category="phase",
+                    ) as span:
+                        solved_before = self.solver_work.problems_solved
+                        self._run_control_round()
+                        if span is not NULL_SPAN:
+                            span.set(
+                                problems_solved=self.solver_work.problems_solved
+                                - solved_before,
+                            )
                 next_maint += maint
 
             pollers = self._pollers().astype(np.float64)

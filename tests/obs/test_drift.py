@@ -1,0 +1,144 @@
+"""Unit tests for drift-aware perf reporting (repro.obs.drift)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.drift import (
+    BenchSnapshot,
+    compare_paths,
+    compute_drift,
+    format_drift_table,
+    load_snapshot,
+)
+
+
+def _snap(label, **means):
+    return BenchSnapshot(label=label, means=means)
+
+
+class TestLoadSnapshot:
+    def test_parses_bench_timing_records(self, tmp_path):
+        path = tmp_path / "BENCH_timings_a.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"fullname": "b/t.py::test_a", "mean": 0.5, "rounds": 5},
+                    {"name": "short", "mean": 2.0},
+                    {"fullname": "b/t.py::skipme"},  # no mean: skipped
+                    "not-a-dict",
+                ]
+            )
+        )
+        snap = load_snapshot(path)
+        assert snap.label == "BENCH_timings_a.json"
+        assert snap.means == {"b/t.py::test_a": 0.5, "short": 2.0}
+
+    def test_label_override(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("[]")
+        assert load_snapshot(path, label="run-7").label == "run-7"
+
+    def test_non_list_payload_yields_empty(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"machine_info": {}}')
+        assert load_snapshot(path).means == {}
+
+
+class TestComputeDrift:
+    def test_needs_two_snapshots(self):
+        with pytest.raises(ValueError, match="at least two"):
+            compute_drift([_snap("only", a=1.0)])
+
+    def test_drift_is_relative_to_rolling_median(self):
+        history = [
+            _snap("1", a=1.0),
+            _snap("2", a=2.0),
+            _snap("3", a=3.0),
+        ]
+        rows = compute_drift([*history, _snap("new", a=3.0)])
+        (row,) = rows
+        assert row.baseline == 2.0  # median of 1, 2, 3
+        assert row.drift == pytest.approx(0.5)
+        assert row.samples == 3
+
+    def test_window_bounds_history(self):
+        snapshots = [_snap(str(i), a=float(i)) for i in range(1, 11)]
+        rows = compute_drift([*snapshots, _snap("new", a=8.0)], window=2)
+        (row,) = rows
+        # only snapshots 9 and 10 feed the baseline: median 9.5
+        assert row.baseline == pytest.approx(9.5)
+        assert row.samples == 2
+
+    def test_new_and_removed_benchmarks(self):
+        rows = compute_drift(
+            [_snap("old", gone=1.0), _snap("new", fresh=1.0)]
+        )
+        by_name = {row.name: row for row in rows}
+        assert by_name["fresh"].baseline is None
+        assert by_name["fresh"].drift is None
+        assert by_name["gone"].latest is None
+        assert by_name["gone"].drift is None
+
+    def test_sorted_by_absolute_drift_descending(self):
+        rows = compute_drift(
+            [
+                _snap("old", small=1.0, big=1.0, neg=1.0),
+                _snap("new", small=1.05, big=3.0, neg=0.5),
+            ]
+        )
+        drifted = [r.name for r in rows]
+        assert drifted == ["big", "neg", "small"]
+
+
+class TestFormatting:
+    def test_threshold_flags(self):
+        rows = compute_drift(
+            [
+                _snap("old", slow=1.0, fast=1.0, same=1.0),
+                _snap("new", slow=1.5, fast=0.5, same=1.01),
+            ]
+        )
+        report = format_drift_table(rows, threshold=0.25)
+        lines = {
+            line.split()[0]: line for line in report.splitlines() if line
+        }
+        assert "REGRESSED" in lines["slow"]
+        assert "improved" in lines["fast"]
+        assert "REGRESSED" not in lines["same"]
+
+    def test_units_render_human_readable(self):
+        rows = compute_drift(
+            [_snap("old", s=2.0, ms=0.002, us=2e-6),
+             _snap("new", s=2.0, ms=0.002, us=2e-6)]
+        )
+        report = format_drift_table(rows)
+        assert "2.000s" in report
+        assert "2.00ms" in report
+        assert "2.0us" in report
+
+
+class TestComparePaths:
+    def _write(self, tmp_path, name, **means):
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                [{"fullname": k, "mean": v} for k, v in means.items()]
+            )
+        )
+        return str(path)
+
+    def test_report_and_regressions(self, tmp_path):
+        old = self._write(tmp_path, "old.json", a=1.0, b=1.0)
+        new = self._write(tmp_path, "new.json", a=1.5, b=1.0)
+        report, regressed = compare_paths([old, new], threshold=0.25)
+        assert "REGRESSED" in report
+        assert [row.name for row in regressed] == ["a"]
+
+    def test_no_threshold_never_regresses(self, tmp_path):
+        old = self._write(tmp_path, "old.json", a=1.0)
+        new = self._write(tmp_path, "new.json", a=9.0)
+        _report, regressed = compare_paths([old, new], threshold=None)
+        assert regressed == []

@@ -1,0 +1,199 @@
+"""Unit tests for span tracing and Chrome-trace export."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    export_chrome_trace,
+    read_spans,
+)
+
+
+class TestDisabledTracer:
+    def test_default_tracer_is_disabled(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+
+    def test_span_returns_the_null_singleton(self):
+        tracer = Tracer()
+        span = tracer.span("poll_batch", sim_time=30.0)
+        assert span is NULL_SPAN
+        assert NULL_TRACER.span("x") is NULL_SPAN
+
+    def test_null_span_is_a_noop_context_manager(self):
+        with NULL_SPAN as span:
+            assert span.set(polls=3) is NULL_SPAN
+        # nothing recorded anywhere
+        assert Tracer().records == []
+
+    def test_disabled_span_allocates_nothing(self):
+        import sys
+
+        tracer = Tracer()
+
+        def spans():
+            for _ in range(100):
+                tracer.span("poll_batch", sim_time=1.0)
+
+        def control():
+            for _ in range(100):
+                pass
+
+        def measure(fn):
+            before = sys.getallocatedblocks()
+            fn()
+            return sys.getallocatedblocks() - before
+
+        # Warm passes absorb the interpreter's one-time lazy blocks
+        # (adaptive specialization); the control loop cancels the
+        # measurement's own fixed overhead (the `before` int is alive
+        # during the second count in both).
+        for fn in (spans, control):
+            measure(fn)
+            measure(fn)
+        assert measure(spans) == measure(control)
+
+    def test_instant_noop_when_disabled(self):
+        tracer = Tracer()
+        tracer.instant("event.ChurnWave", sim_time=60.0)
+        assert tracer.records == []
+
+
+class TestEnabledTracer:
+    def test_span_records_complete_event_shape(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("repair", sim_time=120.0, category="phase") as s:
+            s.set(repaired=2, dirty_urls=5)
+        (record,) = tracer.records
+        assert record["name"] == "repair"
+        assert record["cat"] == "phase"
+        assert record["ph"] == "X"
+        assert record["sim"] == 120.0
+        assert record["depth"] == 0
+        assert record["dur_us"] >= 0.0
+        assert isinstance(record["alloc"], int)
+        assert record["args"] == {"repaired": 2, "dirty_urls": 5}
+
+    def test_nested_spans_carry_depth(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records  # inner exits (records) first
+        assert inner["name"] == "inner" and inner["depth"] == 1
+        assert outer["name"] == "outer" and outer["depth"] == 0
+
+    def test_span_without_attrs_omits_args(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("aggregation"):
+            pass
+        assert "args" not in tracer.records[0]
+
+    def test_instant_event_shape(self):
+        tracer = Tracer(enabled=True)
+        tracer.instant(
+            "event.ChurnWave", sim_time=600.0, category="scenario", n=32
+        )
+        (record,) = tracer.records
+        assert record["ph"] == "i"
+        assert record["cat"] == "scenario"
+        assert record["sim"] == 600.0
+        assert record["args"] == {"n": 32}
+
+    def test_sink_receives_json_lines(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink=sink)
+        assert tracer.enabled
+        with tracer.span("poll_batch", sim_time=30.0):
+            pass
+        tracer.instant("tick", sim_time=30.0)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["ph"] for p in parsed] == ["X", "i"]
+
+    def test_exception_inside_span_still_records(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("optimize"):
+                raise RuntimeError("solver exploded")
+        assert tracer.records[0]["name"] == "optimize"
+        assert tracer._stack == []
+
+    def test_bound_registry_collects_phase_histograms(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True, registry=registry)
+        with tracer.span("repair"):
+            pass
+        with tracer.span("repair"):
+            pass
+        with tracer.span("optimize"):
+            pass
+        wall = registry.get("phase_wall_seconds")
+        alloc = registry.get("phase_alloc_blocks")
+        assert wall.labels(phase="repair").count == 2
+        assert wall.labels(phase="optimize").count == 1
+        assert alloc.labels(phase="repair").count == 2
+
+
+class TestRoundTrip:
+    def test_read_spans_skips_blank_lines(self):
+        records = read_spans(['{"name": "a"}', "", "  ", '{"name": "b"}'])
+        assert [r["name"] for r in records] == ["a", "b"]
+
+    def _sample_records(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink=sink)
+        with tracer.span("scenario.run", sim_time=0.0, category="scenario"):
+            with tracer.span("poll_batch", sim_time=30.0) as span:
+                span.set(polls=5)
+            tracer.instant("event.ChurnWave", sim_time=60.0)
+        return read_spans(io.StringIO(sink.getvalue()))
+
+    def test_chrome_trace_structural_shape_wall_clock(self):
+        trace = export_chrome_trace(self._sample_records(), clock="wall")
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        # leading process_name metadata event
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "repro"
+        body = events[1:]
+        assert {e["ph"] for e in body} == {"X", "i"}
+        for event in body:
+            assert event["pid"] == 0 and event["tid"] == 0
+            assert isinstance(event["ts"], float)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+        poll = next(e for e in body if e["name"] == "poll_batch")
+        assert poll["args"]["polls"] == 5
+        assert poll["args"]["sim_time"] == 30.0
+        assert "alloc_blocks" in poll["args"]
+
+    def test_chrome_trace_sim_clock_places_spans_at_sim_time(self):
+        trace = export_chrome_trace(self._sample_records(), clock="sim")
+        by_name = {e["name"]: e for e in trace["traceEvents"][1:]}
+        assert by_name["poll_batch"]["ts"] == pytest.approx(30.0 * 1e6)
+        assert by_name["event.ChurnWave"]["ts"] == pytest.approx(60.0 * 1e6)
+
+    def test_chrome_trace_rejects_unknown_clock(self):
+        with pytest.raises(ValueError, match="unknown clock"):
+            export_chrome_trace([], clock="lamport")
+
+    def test_process_name_override(self):
+        trace = export_chrome_trace([], process_name="steady-state")
+        assert trace["traceEvents"][0]["args"]["name"] == "steady-state"
+
+    def test_chrome_trace_is_json_serializable(self):
+        payload = json.dumps(export_chrome_trace(self._sample_records()))
+        assert "traceEvents" in payload

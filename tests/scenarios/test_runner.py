@@ -373,7 +373,14 @@ class TestMetricsShape:
         metrics = run_tiny()
         payload = metrics.to_dict()
         for field in dataclasses.fields(metrics):
+            if field.name == "counters":
+                # Registry-collated counters serialize flattened, one
+                # key each, exactly where the old explicit fields sat.
+                continue
             assert field.name in payload
+        for key, value in metrics.counters.items():
+            assert payload[key] == value
+            assert getattr(metrics, key) == value
 
     def test_summary_mentions_key_numbers(self):
         metrics = run_tiny()
