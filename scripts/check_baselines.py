@@ -11,7 +11,13 @@ not part of these files; they are reported separately from the
 Usage::
 
     python scripts/check_baselines.py            # compare (CI gate)
+    python scripts/check_baselines.py --jobs 4   # same gate, farmed
     python scripts/check_baselines.py --update   # regenerate baselines
+
+``--jobs N`` (N > 1) fans the scenario runs across the sweep farm's
+worker processes (:mod:`repro.sweeps`) — byte-identical metrics,
+lower wall clock; ``--jobs 1`` (the default) keeps the original
+serial in-process path as the fallback.
 
 To add a scenario to the CI baseline set: append its registered name
 to ``BASELINE_SCENARIOS`` below, run ``--update``, commit the new
@@ -31,6 +37,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.scenarios.registry import get_scenario  # noqa: E402
 from repro.scenarios.runner import ScenarioRunner  # noqa: E402
+from repro.sweeps import SweepTask, run_tasks  # noqa: E402
 
 #: The fixed-seed scenarios CI gates on.  Kept small and fast; the
 #: churn-scale-sweep is exercised by the benchmark suite instead so
@@ -47,6 +54,16 @@ BASELINE_SCENARIOS = (
     "partition-heal",
 )
 BASELINE_SEED = 0
+
+# The built-in `baseline-suite` sweep mirrors this set so `repro sweep
+# run baseline-suite` farms exactly what the gate gates; drift between
+# the two would silently un-gate a scenario.
+from repro.sweeps.builtin import BASELINE_SUITE_SCENARIOS  # noqa: E402
+
+assert BASELINE_SUITE_SCENARIOS == BASELINE_SCENARIOS, (
+    "repro.sweeps.builtin.BASELINE_SUITE_SCENARIOS is out of sync with "
+    "scripts/check_baselines.py BASELINE_SCENARIOS"
+)
 BASELINE_DIR = REPO_ROOT / "ci" / "baselines"
 
 #: Scale-sweep *work* baselines: scenario → gated variants.  Only the
@@ -103,6 +120,46 @@ def run_work_scenario(name: str, variants: tuple[str, ...]) -> dict:
     return payload
 
 
+def _scenario_variants(name: str) -> list[str | None]:
+    """The variant labels one gated scenario expands to, in order."""
+    if name in WORK_BASELINE_SCENARIOS:
+        return list(WORK_BASELINE_SCENARIOS[name])
+    labels = get_scenario(name).variant_labels()
+    return list(labels) if labels else [None]
+
+
+def run_all_via_farm(names: list[str], jobs: int) -> dict[str, dict]:
+    """Farm every gated run; scenario → {label: gated payload}.
+
+    One grid for the whole baseline set (variants enumerated exactly
+    as the serial path would), fanned across ``jobs`` workers.  The
+    farm's byte-identity contract (tests/sweeps/) is what licenses
+    gating through it: per-variant JSON is identical to the serial
+    path's.  A failed task raises — a gate must never silently pass
+    on a partial grid.
+    """
+    tasks = [
+        SweepTask(name, variant, BASELINE_SEED)
+        for name in names
+        for variant in _scenario_variants(name)
+    ]
+    results = run_tasks(
+        tasks, jobs=jobs, retries=1, sweep_name="baseline-gate"
+    )
+    failures = [result for result in results if not result.ok]
+    if failures:
+        details = "; ".join(
+            f"{result.task.key}: {result.error}" for result in failures
+        )
+        raise RuntimeError(f"baseline farm run failed: {details}")
+    payloads: dict[str, dict] = {}
+    for result in results:
+        payloads.setdefault(result.task.scenario, {})[
+            result.task.label
+        ] = _gated(result.payload)
+    return payloads
+
+
 def baseline_path(name: str) -> Path:
     return BASELINE_DIR / f"{name}.json"
 
@@ -145,10 +202,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="regenerate the committed baselines instead of comparing",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the scenario runs (1 = the serial "
+        "in-process fallback; >1 delegates to the repro.sweeps farm — "
+        "metrics are byte-identical either way)",
+    )
     args = parser.parse_args(argv)
     names = args.names or (
         list(BASELINE_SCENARIOS) + list(WORK_BASELINE_SCENARIOS)
     )
+
+    farmed: dict[str, dict] | None = None
+    if args.jobs > 1:
+        farmed = run_all_via_farm(names, jobs=args.jobs)
+
+    def work_subset(payload: dict) -> dict:
+        return {
+            label: {
+                key: value
+                for key, value in metrics.items()
+                if key.startswith(WORK_KEY_PREFIXES)
+            }
+            for label, metrics in payload.items()
+        }
 
     failures: list[str] = []
     targets = []
@@ -159,17 +239,21 @@ def main(argv: list[str] | None = None) -> int:
             # .work.json gate rather than replaying every scale
             # variant in full (nothing gates those full metrics).
             variants = WORK_BASELINE_SCENARIOS[name]
-            targets.append(
-                (
-                    f"{name}[work]",
-                    work_baseline_path(name),
-                    lambda n=name, v=variants: run_work_scenario(n, v),
+            if farmed is not None:
+                produce = lambda n=name: work_subset(farmed[n])  # noqa: E731
+            else:
+                produce = lambda n=name, v=variants: (  # noqa: E731
+                    run_work_scenario(n, v)
                 )
+            targets.append(
+                (f"{name}[work]", work_baseline_path(name), produce)
             )
         else:
-            targets.append(
-                (name, baseline_path(name), lambda n=name: run_scenario(n))
-            )
+            if farmed is not None:
+                produce = lambda n=name: farmed[n]  # noqa: E731
+            else:
+                produce = lambda n=name: run_scenario(n)  # noqa: E731
+            targets.append((name, baseline_path(name), produce))
     for label, path, produce in targets:
         actual = produce()
         if args.update:

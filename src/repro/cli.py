@@ -8,6 +8,10 @@ Usage::
     python -m repro scenario list
     python -m repro scenario run <name> [--seed N] [--variant V] [--json]
                                         [--trace spans.jsonl]
+    python -m repro sweep list
+    python -m repro sweep run <name> [-j N] [--json] [--out DIR]
+                                     [--timeout S] [--retries K]
+                                     [--trace spans.jsonl]
     python -m repro trace export spans.jsonl -o trace.json [--clock sim]
     python -m repro bench compare BENCH_a.json BENCH_b.json ...
 
@@ -16,7 +20,10 @@ Usage::
 the Figure 3/4 series; ``deploy`` runs the full-protocol deployment
 experiment (Figures 9–10); ``scenario`` drives the declarative
 orchestration subsystem (:mod:`repro.scenarios`) — fault-injection
-timelines over the full protocol stack.  ``trace export`` converts a
+timelines over the full protocol stack; ``sweep`` fans a registered
+grid of scenario runs across worker processes
+(:mod:`repro.sweeps` — serial and parallel runs emit byte-identical
+per-variant JSON).  ``trace export`` converts a
 ``--trace`` span log to Chrome-trace JSON (load it in Perfetto or
 ``chrome://tracing``); ``bench compare`` reports timing drift across
 ``BENCH_*.json`` artifacts against a rolling baseline.  Global
@@ -28,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 
 import numpy as np
@@ -46,6 +54,12 @@ from repro.scenarios import (
 )
 from repro.scenarios.registry import UnknownScenarioError
 from repro.simulation.deployment import DeploymentSimulator
+from repro.sweeps import (
+    UnknownSweepError,
+    get_sweep,
+    list_sweeps,
+    run_sweep,
+)
 from repro.simulation.macro import MacroSimulator, run_legacy
 from repro.workload.trace import generate_trace
 
@@ -252,6 +266,68 @@ def _variant_table(results: dict) -> str:
     )
 
 
+def cmd_sweep_list(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in list_sweeps():
+        rows.append(
+            [
+                spec.name,
+                len(spec.tasks()),
+                ", ".join(spec.scenario_names()),
+                ", ".join(str(seed) for seed in spec.seeds),
+                spec.description,
+            ]
+        )
+    print(
+        format_table(
+            ["sweep", "tasks", "scenarios", "seeds", "description"],
+            rows,
+            title="Built-in sweeps (repro sweep run <name> -j N)",
+        )
+    )
+    return 0
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    sink = None
+    try:
+        spec = get_sweep(args.name)
+    except UnknownSweepError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    try:
+        obs = None
+        if args.trace is not None:
+            sink = open(args.trace, "w", encoding="utf-8")
+            obs = Observability.on(sink=sink)
+        run = run_sweep(
+            spec,
+            jobs=jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            obs=obs,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.out is not None:
+        written = run.write_artifacts(args.out)
+        if not args.json:
+            print(f"wrote {len(written)} artifact(s) under {args.out}")
+    if args.json:
+        print(json.dumps(run.merged(), indent=2, sort_keys=True))
+    else:
+        print(run.comparison_table())
+        for result in run.failed:
+            print(
+                f"FAILED {result.task.key} after {result.attempts} "
+                f"attempt(s): {result.error}",
+                file=sys.stderr,
+            )
+    return 1 if run.failed else 0
+
+
 def cmd_trace_export(args: argparse.Namespace) -> int:
     """Convert a ``--trace`` JSONL span log to Chrome-trace JSON."""
     try:
@@ -361,6 +437,52 @@ def build_parser() -> argparse.ArgumentParser:
              "(convert with 'repro trace export')",
     )
     scenario_run.set_defaults(func=cmd_scenario_run)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="parallel sweep farm (grids of scenario runs)",
+    )
+    sweep_commands = sweep.add_subparsers(
+        dest="sweep_command", required=True
+    )
+    sweep_list = sweep_commands.add_parser(
+        "list", help="show the registered sweeps"
+    )
+    sweep_list.set_defaults(func=cmd_sweep_list)
+    sweep_run = sweep_commands.add_parser(
+        "run",
+        help="run one sweep's grid across worker processes",
+    )
+    sweep_run.add_argument("name", help="registered sweep name")
+    sweep_run.add_argument(
+        "-j", "--jobs", type=int, default=0,
+        help="worker processes (default 0 = one per CPU; 1 = serial "
+             "in-process — byte-identical output either way)",
+    )
+    sweep_run.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-task wall-clock budget in seconds (parallel mode; "
+             "an over-budget worker is killed and the task retried)",
+    )
+    sweep_run.add_argument(
+        "--retries", type=int, default=1, metavar="K",
+        help="extra attempts per failed/timed-out task (default 1)",
+    )
+    sweep_run.add_argument(
+        "--json", action="store_true",
+        help="emit the merged comparison artifact instead of the table",
+    )
+    sweep_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write sweep.json, summary.txt and per-variant JSON "
+             "files under DIR",
+    )
+    sweep_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write farm-level sweep.run/sweep.task spans to PATH as "
+             "JSON-lines (convert with 'repro trace export')",
+    )
+    sweep_run.set_defaults(func=cmd_sweep_run)
 
     trace = commands.add_parser(
         "trace", help="span-trace tooling (export to Chrome trace)"

@@ -12,6 +12,7 @@ ad markup) that makes the core-content extractor necessary.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.feeds.rss import RssChannel, RssItem, rfc822_date
@@ -49,7 +50,14 @@ class FeedGenerator:
     _serial: int = 0
 
     def __post_init__(self) -> None:
-        self.rng = random.Random((hash(self.url) ^ self.seed) & 0xFFFFFFFF)
+        # crc32, not hash(): str hashes are randomized per process
+        # (PYTHONHASHSEED), and this seed must not be — a feed's
+        # content stream is part of the byte-identity contract, which
+        # spans processes (the sweep farm's spawn workers).
+        self.rng = random.Random(
+            (zlib.crc32(self.url.encode("utf-8")) ^ self.seed)
+            & 0xFFFFFFFF
+        )
         for _ in range(self.target_items):
             self._items.append(self._make_item(published_at=0.0))
         self.version = 1

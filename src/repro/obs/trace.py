@@ -179,6 +179,46 @@ class Tracer:
             return NULL_SPAN
         return Span(self, name, category, sim_time)
 
+    def complete(
+        self,
+        name: str,
+        wall_start: float,
+        wall_duration: float,
+        sim_time: float | None = None,
+        category: str = "phase",
+        alloc_delta: int | None = None,
+        **attrs,
+    ) -> None:
+        """Record an externally-measured complete span.
+
+        For work whose timing the caller already holds — e.g. the
+        sweep farm, whose tasks run in *worker processes* while the
+        parent keeps the clock: ``wall_start`` is a parent-side
+        ``perf_counter`` value, ``wall_duration`` seconds.  The
+        record is shaped exactly like a context-manager span (and
+        feeds the same phase histograms), so ``repro trace export``
+        renders both identically.
+        """
+        if not self.enabled:
+            return
+        record = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "wall_us": round((wall_start - self._epoch) * 1e6, 3),
+            "dur_us": round(wall_duration * 1e6, 3),
+            "sim": sim_time,
+            "alloc": alloc_delta,
+            "depth": len(self._stack),
+        }
+        if attrs:
+            record["args"] = attrs
+        self._emit(record)
+        if self._wall_hist is not None:
+            self._wall_hist.labels(phase=name).observe(wall_duration)
+        if self._alloc_hist is not None and alloc_delta is not None:
+            self._alloc_hist.labels(phase=name).observe(float(alloc_delta))
+
     def instant(
         self,
         name: str,

@@ -1,0 +1,80 @@
+"""The built-in sweep library.
+
+Grids over the built-in scenarios that the paper-style studies keep
+reaching for: the membership-scale grid, the scheme comparison under
+one fault timeline, seed replication of a single experiment, and the
+CI baseline suite (the exact-match gate's scenario set, runnable in
+parallel — ``scripts/check_baselines.py --jobs N`` drives the same
+grid through the farm).
+"""
+
+from __future__ import annotations
+
+from repro.sweeps.registry import register
+from repro.sweeps.spec import SweepSelection, SweepSpec
+
+#: Mirrors scripts/check_baselines.py's gated scenario set (kept in
+#: narrative order); the script asserts the two stay in sync.
+BASELINE_SUITE_SCENARIOS = (
+    "steady-state",
+    "heavy-churn",
+    "lossy-overlay",
+    "partition-heal",
+)
+
+CHURN_SCALE = register(
+    SweepSpec(
+        name="churn-scale",
+        description=(
+            "The churn-scale-sweep population grid (512 to 4096 "
+            "nodes) as one farmed run — the membership-cost study "
+            "that was too slow to run serially."
+        ),
+        selections=(SweepSelection("churn-scale-sweep"),),
+    )
+)
+
+SCHEME_FAULTS = register(
+    SweepSpec(
+        name="scheme-faults",
+        description=(
+            "Corona-Lite vs Fast vs Fair under the identical fault "
+            "timeline (scheme-fault-sweep), one variant per worker."
+        ),
+        selections=(SweepSelection("scheme-fault-sweep"),),
+    )
+)
+
+SEED_GRID = register(
+    SweepSpec(
+        name="seed-grid",
+        description=(
+            "Seed replication: the flash-crowd experiment under "
+            "three independent seeds — the cheap dispersion check "
+            "before trusting any single-seed comparison."
+        ),
+        selections=(SweepSelection("flash-crowd"),),
+        seeds=(0, 1, 2),
+    )
+)
+
+BASELINE_SUITE = register(
+    SweepSpec(
+        name="baseline-suite",
+        description=(
+            "The CI exact-match gate's scenario set (every variant, "
+            "seed 0) — what check_baselines --jobs N fans out."
+        ),
+        selections=tuple(
+            SweepSelection(name) for name in BASELINE_SUITE_SCENARIOS
+        ),
+    )
+)
+
+#: Names guaranteed registered, in narrative order (docs/tests).
+BUILTIN_NAMES = (
+    "churn-scale",
+    "scheme-faults",
+    "seed-grid",
+    "baseline-suite",
+)

@@ -1,0 +1,56 @@
+"""Named sweep registry (mirrors :mod:`repro.scenarios.registry`).
+
+Built-ins self-register on package import
+(:mod:`repro.sweeps.builtin`); experiments register their own grids
+with :func:`register`.  Lookup failures raise
+:class:`UnknownSweepError` listing what *is* available.
+"""
+
+from __future__ import annotations
+
+from repro.sweeps.spec import SweepSpec
+
+_REGISTRY: dict[str, SweepSpec] = {}
+
+
+class UnknownSweepError(KeyError):
+    """Requested sweep name is not registered."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(
+            f"unknown sweep {name!r}; registered: {sweep_names()}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
+
+
+def register(spec: SweepSpec, replace: bool = False) -> SweepSpec:
+    """Validate and register ``spec`` under its name; returns it."""
+    spec.validate()
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"sweep {spec.name!r} already registered "
+            "(pass replace=True to override)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_sweep(name: str) -> SweepSpec:
+    """Look up a registered sweep by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSweepError(name) from None
+
+
+def sweep_names() -> list[str]:
+    """Registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def list_sweeps() -> list[SweepSpec]:
+    """Registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in sweep_names()]

@@ -1,0 +1,97 @@
+"""The sweep worker: execute one task, in-process or in a child.
+
+:func:`run_task` is the single execution path for a
+:class:`~repro.sweeps.spec.SweepTask` — the farm's serial mode calls
+it directly and :func:`worker_loop` (the spawned child's entry point)
+calls the very same function, which is the mechanical core of the
+byte-identity contract: there is no parallel-only code anywhere near
+the protocol.  A task runs with observability *off* (fresh registry,
+tracing disabled) exactly like ``repro scenario run``; the farm does
+its own tracing around task boundaries in the parent.
+
+Workers are **spawn**-started (never fork): each child is a fresh
+interpreter that re-imports :mod:`repro`, so no parent state — open
+engines, registries, RNG — can leak into a run.  ``multiprocessing``'s
+spawn preparation data carries the parent's ``sys.path`` into the
+child, so the package resolves the same way it did in the parent
+(including pytest's ``pythonpath = ["src"]``).
+
+The wire protocol is deliberately tiny: the parent sends
+:class:`~repro.sweeps.spec.SweepTask` objects (or ``None`` to shut
+down) over a duplex pipe; the child answers ``("ok", TaskOutcome)``
+or ``("error", traceback_string)``.  A child never half-answers — a
+task that dies mid-run surfaces to the parent as a closed pipe, which
+the farm reports as a failed attempt, never as a result.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.sweeps.spec import SweepTask
+
+
+@dataclass
+class TaskOutcome:
+    """One successful task execution, measured where it ran.
+
+    ``payload`` is exactly ``ScenarioMetrics.to_dict()`` — the
+    per-variant JSON dict whose rendered bytes the equivalence suite
+    pins; ``wall_seconds``/``alloc_blocks`` are the worker-side cost
+    (run only, excluding spawn/import), fed into the farm's
+    per-variant observability series.
+    """
+
+    payload: dict
+    wall_seconds: float
+    alloc_blocks: int
+
+
+def run_task(task: SweepTask) -> TaskOutcome:
+    """Execute one grid cell exactly like ``repro scenario run``."""
+    # Imported here, not at module top: the child resolves the
+    # scenario registry only after spawn finished wiring sys.path.
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.runner import ScenarioRunner
+
+    runner = ScenarioRunner(get_scenario(task.scenario), seed=task.seed)
+    alloc_start = sys.getallocatedblocks()
+    wall_start = time.perf_counter()
+    metrics = runner.run(task.variant)
+    wall = time.perf_counter() - wall_start
+    alloc = sys.getallocatedblocks() - alloc_start
+    return TaskOutcome(
+        payload=metrics.to_dict(),
+        wall_seconds=wall,
+        alloc_blocks=alloc,
+    )
+
+
+def worker_loop(conn) -> None:
+    """Child entry point: serve tasks until the ``None`` sentinel.
+
+    Every exception is caught and shipped back as a formatted
+    traceback — the child stays alive for the next task, so one bad
+    variant cannot take down a worker mid-sweep.  Only a hard death
+    (kill, segfault, machine pressure) closes the pipe, which the
+    parent observes as EOF and accounts as a failed attempt.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        try:
+            message = ("ok", run_task(task))
+        except BaseException:  # noqa: B036 - report, then keep serving
+            message = ("error", traceback.format_exc())
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):  # parent went away
+            break
+    conn.close()

@@ -128,6 +128,48 @@ class TestEnabledTracer:
         assert tracer.records[0]["name"] == "optimize"
         assert tracer._stack == []
 
+    def test_complete_records_externally_measured_span(self):
+        tracer = Tracer(enabled=True)
+        tracer.complete(
+            "sweep.task",
+            wall_start=tracer._epoch + 1.0,
+            wall_duration=2.5,
+            category="sweep",
+            alloc_delta=128,
+            scenario="flash-crowd",
+            status="ok",
+        )
+        (record,) = tracer.records
+        assert record["ph"] == "X"
+        assert record["cat"] == "sweep"
+        assert record["wall_us"] == pytest.approx(1.0e6)
+        assert record["dur_us"] == pytest.approx(2.5e6)
+        assert record["alloc"] == 128
+        assert record["depth"] == 0
+        assert record["args"] == {
+            "scenario": "flash-crowd",
+            "status": "ok",
+        }
+
+    def test_complete_noop_when_disabled(self):
+        tracer = Tracer()
+        tracer.complete("sweep.task", wall_start=0.0, wall_duration=1.0)
+        assert tracer.records == []
+
+    def test_complete_feeds_phase_histograms(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True, registry=registry)
+        tracer.complete(
+            "sweep.task", wall_start=0.0, wall_duration=0.5,
+            alloc_delta=10,
+        )
+        tracer.complete("sweep.task", wall_start=0.0, wall_duration=0.5)
+        wall = registry.get("phase_wall_seconds")
+        alloc = registry.get("phase_alloc_blocks")
+        assert wall.labels(phase="sweep.task").count == 2
+        # Without an alloc_delta there is nothing to observe.
+        assert alloc.labels(phase="sweep.task").count == 1
+
     def test_bound_registry_collects_phase_histograms(self):
         registry = MetricsRegistry()
         tracer = Tracer(enabled=True, registry=registry)

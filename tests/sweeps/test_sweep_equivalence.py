@@ -1,0 +1,88 @@
+"""Serial/parallel byte-identity: the sweep farm's headline contract.
+
+Same grid, same seeds ⇒ the farm's per-variant JSON is **byte
+identical** whether the tasks run in-process (``jobs=1``), across two
+workers, or across four — and whatever order the task queue was in.
+Three grids carry the contract: the churn-scale population sweep, the
+scheme comparison under a shared fault timeline, and a seed grid of
+one experiment.  The serial reference itself is pinned against a
+direct :class:`~repro.scenarios.runner.ScenarioRunner` run, so the
+whole chain — runner → worker → farm merge — is covered end to end.
+"""
+
+import random
+
+import pytest
+
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import ScenarioRunner
+from repro.sweeps import SweepTask, run_tasks, variant_json
+
+#: The grids under contract.  churn-scale-sweep is restricted to its
+#: two smallest populations to keep the suite's wall clock sane — the
+#: determinism mechanism (spawn-fresh interpreter, per-instance memo
+#: caches) does not vary with scale.
+GRIDS: dict[str, tuple[SweepTask, ...]] = {
+    "churn-scale": tuple(
+        SweepTask("churn-scale-sweep", label, 0)
+        for label in ("n512", "n1024")
+    ),
+    "scheme-faults": tuple(
+        SweepTask("scheme-fault-sweep", label, 0)
+        for label in ("lite", "fast", "fair")
+    ),
+    "seed-grid": tuple(
+        SweepTask("flash-crowd", None, seed) for seed in (0, 1, 2)
+    ),
+}
+
+_SERIAL_CACHE: dict[str, dict[str, str]] = {}
+
+
+def by_key(results) -> dict[str, str]:
+    """Canonical per-variant bytes keyed by task, all tasks ok."""
+    payloads: dict[str, str] = {}
+    for result in results:
+        assert result.ok, f"{result.task.key}: {result.error}"
+        assert result.attempts == 1
+        payloads[result.task.key] = variant_json(result.payload)
+    return payloads
+
+
+def serial_reference(grid: str) -> dict[str, str]:
+    """The in-process run of ``grid`` (computed once per session)."""
+    if grid not in _SERIAL_CACHE:
+        _SERIAL_CACHE[grid] = by_key(run_tasks(list(GRIDS[grid]), jobs=1))
+    return _SERIAL_CACHE[grid]
+
+
+@pytest.mark.parametrize("jobs", (2, 4))
+@pytest.mark.parametrize("grid", sorted(GRIDS))
+def test_parallel_bytes_match_serial(grid, jobs):
+    tasks = list(GRIDS[grid])
+    if jobs == 4:
+        # The contract holds under any queue order: shuffle the grid
+        # for the wider pool so dispatch order differs from both the
+        # serial run and the two-worker run.
+        random.Random(f"{grid}/shuffle").shuffle(tasks)
+    parallel = by_key(run_tasks(tasks, jobs=jobs))
+    assert parallel == serial_reference(grid)
+
+
+def test_farm_serial_matches_direct_runner():
+    """The serial reference is itself pinned to a bare runner run."""
+    task = GRIDS["scheme-faults"][1]
+    metrics = ScenarioRunner(
+        get_scenario(task.scenario), seed=task.seed
+    ).run(task.variant)
+    assert serial_reference("scheme-faults")[task.key] == variant_json(
+        metrics.to_dict()
+    )
+
+
+def test_seed_grid_seeds_actually_differ():
+    """Guard against a trivially-passing contract: distinct seeds must
+    produce distinct metrics, or the equivalence above proves nothing
+    about per-task routing."""
+    reference = serial_reference("seed-grid")
+    assert len(set(reference.values())) == len(reference)

@@ -1,8 +1,14 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import ScenarioMetrics, ScenarioRunner
+from repro.sweeps import SweepTask, run_tasks, variant_json
+from repro.sweeps.builtin import BUILTIN_NAMES
 
 
 class TestParser:
@@ -66,3 +72,92 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "detections:" in out
+
+
+class TestSweepCLI:
+    def test_sweep_run_defaults(self):
+        args = build_parser().parse_args(["sweep", "run", "seed-grid"])
+        assert args.jobs == 0  # 0 = auto (cpu count)
+        assert args.retries == 1
+        assert args.timeout is None
+        assert not args.json
+        assert args.out is None
+        assert args.trace is None
+
+    def test_sweep_list_names_every_builtin(self, capsys):
+        code = main(["sweep", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_NAMES:
+            assert name in out
+
+    def test_unknown_sweep_is_a_usage_error(self, capsys):
+        code = main(["sweep", "run", "no-such-sweep"])
+        assert code == 2
+        assert "no-such-sweep" in capsys.readouterr().err
+
+    def test_sweep_run_json_schema_and_out_layout(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            [
+                "sweep", "run", "seed-grid",
+                "-j", "2",
+                "--json",
+                "--out", str(out_dir),
+            ]
+        )
+        assert code == 0
+        merged = json.loads(capsys.readouterr().out)
+
+        assert sorted(merged) == ["counts", "jobs", "sweep", "tasks"]
+        assert merged["sweep"] == "seed-grid"
+        assert merged["jobs"] == 2
+        assert merged["counts"] == {"total": 3, "ok": 3, "failed": 0}
+        # Enumeration order, never completion order.
+        assert [entry["key"] for entry in merged["tasks"]] == [
+            f"flash-crowd[base]@seed{seed}" for seed in (0, 1, 2)
+        ]
+        for entry in merged["tasks"]:
+            assert entry["status"] == "ok"
+            assert entry["error"] is None
+            assert entry["metrics"]["scenario"] == "flash-crowd"
+
+        # --out layout: merged artifact + summary + one canonical
+        # per-variant file per completed task.
+        assert (out_dir / "summary.txt").exists()
+        on_disk = json.loads((out_dir / "sweep.json").read_text())
+        assert on_disk == merged
+        names = sorted(
+            path.name for path in (out_dir / "flash-crowd").iterdir()
+        )
+        assert names == [
+            "base.seed0.json", "base.seed1.json", "base.seed2.json",
+        ]
+        for seed, entry in zip((0, 1, 2), merged["tasks"]):
+            path = out_dir / "flash-crowd" / f"base.seed{seed}.json"
+            assert path.read_text() == variant_json(entry["metrics"])
+
+
+class TestMetricsKeyOrderThroughMerge:
+    def test_head_key_order_pinned_through_parallel_merge(self):
+        """ScenarioMetrics' pinned key order survives the worker
+        pickle boundary and the farm merge — the payload a parallel
+        run hands back is ordered exactly like a direct
+        ``to_dict()``."""
+        (result,) = run_tasks([SweepTask("flash-crowd", None, 0)], jobs=2)
+        keys = list(result.payload)
+        head = list(ScenarioMetrics._HEAD_KEYS)
+        assert keys[: len(head)] == head
+        assert keys[len(head):] == [
+            "bucket_times",
+            "polls_per_min",
+            "detection_bucket_times",
+            "detection_delays",
+        ]
+        direct = (
+            ScenarioRunner(get_scenario("flash-crowd"), seed=0)
+            .run(None)
+            .to_dict()
+        )
+        assert list(direct) == keys
+        assert variant_json(direct) == variant_json(result.payload)
