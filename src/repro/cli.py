@@ -37,6 +37,7 @@ import json
 import math
 import os
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -54,13 +55,17 @@ from repro.scenarios import (
 )
 from repro.scenarios.registry import UnknownScenarioError
 from repro.simulation.deployment import DeploymentSimulator
+from repro.simulation.macro import MacroSimulator, run_legacy
 from repro.sweeps import (
+    JOURNAL_NAME,
+    JournalError,
+    SweepJournal,
     UnknownSweepError,
     get_sweep,
     list_sweeps,
     run_sweep,
+    write_variant_file,
 )
-from repro.simulation.macro import MacroSimulator, run_legacy
 from repro.workload.trace import generate_trace
 
 
@@ -207,7 +212,12 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         if args.trace is not None:
             sink = open(args.trace, "w", encoding="utf-8")
             obs = Observability.on(sink=sink)
-        runner = ScenarioRunner(spec, seed=args.seed, obs=obs)
+        runner = ScenarioRunner(
+            spec,
+            seed=args.seed,
+            obs=obs,
+            check_invariants=args.check_invariants,
+        )
         if args.variant is not None:
             results = {args.variant: runner.run(args.variant)}
         else:
@@ -218,6 +228,22 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     finally:
         if sink is not None:
             sink.close()
+    if args.check_invariants:
+        # Report on stderr so --json stdout stays byte-identical to a
+        # monitors-off run; the exit code is unchanged (report-only).
+        total = sum(len(m.violations) for m in results.values())
+        print(
+            f"invariants: {total} violation(s) across "
+            f"{len(results)} variant run(s)",
+            file=sys.stderr,
+        )
+        for label, metrics in results.items():
+            for entry in metrics.violations:
+                print(
+                    f"  [{label}] {entry['invariant']} at "
+                    f"t={entry['at']:.0f}: {entry['detail']}",
+                    file=sys.stderr,
+                )
     if args.json:
         payload = {
             label: metrics.to_dict() for label, metrics in results.items()
@@ -290,13 +316,50 @@ def cmd_sweep_list(args: argparse.Namespace) -> int:
 
 def cmd_sweep_run(args: argparse.Namespace) -> int:
     sink = None
+    journal = None
     try:
         spec = get_sweep(args.name)
     except UnknownSweepError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    resume = getattr(args, "resume", False)
+    if resume and args.out is None:
+        print(
+            "error: --resume needs --out DIR (the journal lives there)",
+            file=sys.stderr,
+        )
+        return 2
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    completed = None
+    on_result = None
     try:
+        if args.out is not None:
+            # Journal every terminal result as it lands (and write its
+            # per-variant file incrementally), so a killed sweep can be
+            # resumed with --resume without redoing finished tasks.
+            root = Path(args.out)
+            root.mkdir(parents=True, exist_ok=True)
+            journal_path = root / JOURNAL_NAME
+            if resume and journal_path.exists():
+                journal, state = SweepJournal.resume(
+                    journal_path, spec.name, args.check_invariants
+                )
+                completed = state.results
+                if completed:
+                    print(
+                        f"resuming {spec.name}: {len(completed)} "
+                        "journaled task(s) skipped",
+                        file=sys.stderr,
+                    )
+            else:
+                journal = SweepJournal.create(
+                    journal_path, spec.name, args.check_invariants
+                )
+
+            def on_result(result):
+                journal.append(result)
+                write_variant_file(root, result)
+
         obs = None
         if args.trace is not None:
             sink = open(args.trace, "w", encoding="utf-8")
@@ -307,14 +370,40 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             obs=obs,
+            check_invariants=args.check_invariants,
+            completed=completed,
+            on_result=on_result,
         )
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except RuntimeError as error:
+        # The farm's poisoned-environment bail-out (respawn cap).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     finally:
+        if journal is not None:
+            journal.close()
         if sink is not None:
             sink.close()
     if args.out is not None:
         written = run.write_artifacts(args.out)
+        if args.check_invariants:
+            report_path = Path(args.out) / "violations.json"
+            report_path.write_text(
+                json.dumps(run.violation_report(), indent=2,
+                           sort_keys=True) + "\n"
+            )
+            written.append(report_path)
         if not args.json:
             print(f"wrote {len(written)} artifact(s) under {args.out}")
+    if args.check_invariants:
+        report = run.violation_report()
+        print(
+            f"invariants: {report['total_violations']} violation(s) "
+            f"across {report['monitored_tasks']} monitored task(s)",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(run.merged(), indent=2, sort_keys=True))
     else:
@@ -333,7 +422,7 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
     try:
         with open(args.input, encoding="utf-8") as handle:
             records = read_spans(handle)
-    except OSError as error:
+    except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     document = export_chrome_trace(
@@ -436,6 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write phase/event spans to PATH as JSON-lines "
              "(convert with 'repro trace export')",
     )
+    scenario_run.add_argument(
+        "--check-invariants", action="store_true",
+        help="attach read-only invariant monitors (population, "
+             "routing, staleness…); violations go to stderr, metrics "
+             "stay byte-identical",
+    )
     scenario_run.set_defaults(func=cmd_scenario_run)
 
     sweep = commands.add_parser(
@@ -449,40 +544,64 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="show the registered sweeps"
     )
     sweep_list.set_defaults(func=cmd_sweep_list)
+    def _add_sweep_run_args(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("name", help="registered sweep name")
+        subparser.add_argument(
+            "-j", "--jobs", type=int, default=0,
+            help="worker processes (default 0 = one per CPU; 1 = "
+                 "serial in-process — byte-identical output either "
+                 "way)",
+        )
+        subparser.add_argument(
+            "--timeout", type=float, default=None, metavar="S",
+            help="per-task wall-clock budget in seconds (parallel "
+                 "mode; an over-budget worker is killed and the task "
+                 "retried)",
+        )
+        subparser.add_argument(
+            "--retries", type=int, default=1, metavar="K",
+            help="extra attempts per failed/timed-out task (default 1)",
+        )
+        subparser.add_argument(
+            "--json", action="store_true",
+            help="emit the merged comparison artifact instead of the "
+                 "table",
+        )
+        subparser.add_argument(
+            "--out", default=None, metavar="DIR",
+            help="write sweep.json, summary.txt, per-variant JSON and "
+                 "the resume journal under DIR",
+        )
+        subparser.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write farm-level sweep.run/sweep.task spans to PATH "
+                 "as JSON-lines (convert with 'repro trace export')",
+        )
+        subparser.add_argument(
+            "--check-invariants", action="store_true",
+            help="run every task with read-only invariant monitors; "
+                 "writes violations.json under --out DIR",
+        )
+
     sweep_run = sweep_commands.add_parser(
         "run",
         help="run one sweep's grid across worker processes",
     )
-    sweep_run.add_argument("name", help="registered sweep name")
+    _add_sweep_run_args(sweep_run)
     sweep_run.add_argument(
-        "-j", "--jobs", type=int, default=0,
-        help="worker processes (default 0 = one per CPU; 1 = serial "
-             "in-process — byte-identical output either way)",
-    )
-    sweep_run.add_argument(
-        "--timeout", type=float, default=None, metavar="S",
-        help="per-task wall-clock budget in seconds (parallel mode; "
-             "an over-budget worker is killed and the task retried)",
-    )
-    sweep_run.add_argument(
-        "--retries", type=int, default=1, metavar="K",
-        help="extra attempts per failed/timed-out task (default 1)",
-    )
-    sweep_run.add_argument(
-        "--json", action="store_true",
-        help="emit the merged comparison artifact instead of the table",
-    )
-    sweep_run.add_argument(
-        "--out", default=None, metavar="DIR",
-        help="write sweep.json, summary.txt and per-variant JSON "
-             "files under DIR",
-    )
-    sweep_run.add_argument(
-        "--trace", default=None, metavar="PATH",
-        help="write farm-level sweep.run/sweep.task spans to PATH as "
-             "JSON-lines (convert with 'repro trace export')",
+        "--resume", action="store_true",
+        help="skip tasks already journaled under --out DIR "
+             "(crash-resumable: artifacts end up byte-identical to an "
+             "uninterrupted run)",
     )
     sweep_run.set_defaults(func=cmd_sweep_run)
+    sweep_resume = sweep_commands.add_parser(
+        "resume",
+        help="continue an interrupted 'sweep run --out DIR' from its "
+             "journal (same as run --resume)",
+    )
+    _add_sweep_run_args(sweep_resume)
+    sweep_resume.set_defaults(func=cmd_sweep_run, resume=True)
 
     trace = commands.add_parser(
         "trace", help="span-trace tooling (export to Chrome trace)"

@@ -86,6 +86,11 @@ class SystemCounters(CounterStruct):
         ("joins", "joins", "nodes spliced into the overlay"),
         ("crashes", "crashes", "node crashes processed"),
         (
+            "recoveries",
+            "recoveries",
+            "crashed nodes re-admitted through the join path",
+        ),
+        (
             "rehomed_channels",
             "rehomed_channels",
             "channels re-homed after joins and crashes",
@@ -126,6 +131,15 @@ class CoronaSystem:
         #: Consecutive maintenance rounds in which a manager's floods
         #: all died (unresponsiveness evidence, fault runs only).
         self._manager_silent_rounds: dict[NodeId, int] = {}
+        #: Crashed nodes eligible for recovery, in crash order: the
+        #: (id, address) pairs :meth:`recover_nodes` re-admits.  The
+        #: address is the identity — rejoining under it reproduces the
+        #: original node id, so re-homed channels move back.
+        self._crashed_pool: list[tuple[NodeId, str]] = []
+        #: Managers declared dead only because a partition silenced
+        #: them, keyed by partition name: :meth:`heal_partition`
+        #: re-admits them so partition scenarios conserve population.
+        self._partition_suspended: dict[str, list[tuple[NodeId, str]]] = {}
         #: Channels whose digest may have moved past a wedge member
         #: since the last clean repair pass: marked on every content
         #: change and manager move (fault runs only), cleared per url
@@ -420,6 +434,9 @@ class CoronaSystem:
             orphaned.extend(
                 (url, state.get(url, set())) for url in dying.managed
             )
+            self._crashed_pool.append(
+                (node_id, self.overlay.nodes[node_id].address)
+            )
         self.overlay.remove_nodes(victims)
         for node_id in victims:
             del self.nodes[node_id]
@@ -460,6 +477,9 @@ class CoronaSystem:
         dying = self.nodes[node_id]
         state = dying.registry.export_state()
         orphaned_urls = list(dying.managed)
+        self._crashed_pool.append(
+            (node_id, self.overlay.nodes[node_id].address)
+        )
         self.overlay.remove_node(node_id)
         del self.nodes[node_id]
         # Aggregation state is rebuilt over the surviving population
@@ -584,6 +604,73 @@ class CoronaSystem:
                     now,
                 )
         return victims
+
+    # ------------------------------------------------------------------
+    # recovery (rejoin & resync)
+    # ------------------------------------------------------------------
+    def recover_nodes(self, count: int, now: float = 0.0) -> list[NodeId]:
+        """Re-admit up to ``count`` crashed nodes, oldest crash first.
+
+        Each node recovers under its original address — hence its
+        original identifier — through the incremental join path, so
+        the channels it anchors re-home back to it with subscription
+        state transferred from the interim managers
+        (:meth:`_rehome_after_join`).  Its poll caches restart empty
+        and prime on first poll (bootstrap, not staleness); anything
+        its wedge memberships missed converges through the
+        anti-entropy repair pass within a bounded number of
+        maintenance rounds.  Nodes suspended behind a still-open
+        partition are not eligible — :meth:`heal_partition` re-admits
+        those.  Returns the recovered ids in rejoin order (fewer than
+        ``count`` when the crash pool is smaller).
+        """
+        if count < 0:
+            raise ValueError("recover count cannot be negative")
+        entries = self._crashed_pool[:count]
+        del self._crashed_pool[: len(entries)]
+        return self._recover_wave(entries, now=now)
+
+    def _recover_wave(
+        self, entries: list[tuple[NodeId, str]], now: float
+    ) -> list[NodeId]:
+        """Rejoin a wave of previously crashed nodes (one splice)."""
+        if not entries:
+            return []
+        with self.obs.tracer.span(
+            "churn.recover", sim_time=now, category="churn"
+        ) as span:
+            rejoined = self._join_wave(
+                [address for _, address in entries], now=now
+            )
+            self.counters.recoveries += len(rejoined)
+            if span is not NULL_SPAN:
+                span.set(recovered=len(rejoined), n_nodes=len(self.nodes))
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "recovery wave: +%d nodes rejoined (population %d) "
+                "at t=%.0f",
+                len(rejoined),
+                len(self.nodes),
+                now,
+            )
+        return rejoined
+
+    def heal_partition(self, name: str, now: float = 0.0) -> list[NodeId]:
+        """Close partition ``name`` and restore its suspended managers.
+
+        Managers the failover detector declared dead *because the
+        partition silenced them* were not crashes — the nodes kept
+        running on the island side.  Healing re-admits them through
+        the recovery path, so partition scenarios conserve population.
+        Unknown or already-healed names only drain any leftover
+        suspensions (heals routed here may race an auto-heal).
+        Returns the re-admitted node ids.
+        """
+        plane = self.faults
+        if plane is not None and name in plane.partitions:
+            plane.heal(name)
+        suspended = self._partition_suspended.pop(name, [])
+        return self._recover_wave(suspended, now=now)
 
     # ------------------------------------------------------------------
     # protocol rounds
@@ -780,7 +867,27 @@ class CoronaSystem:
                 plane.manager_failure_rounds,
                 now,
             )
+        # A victim silenced by an open partition is suspended, not
+        # crashed: the node keeps running on the island side, so the
+        # matching heal re-admits it (population conservation).
+        island_of: dict[NodeId, str] = {}
+        for name, island in plane.partitions.items():
+            for manager_id in victims:
+                if manager_id in island.members:
+                    island_of.setdefault(manager_id, name)
+        pool_mark = len(self._crashed_pool)
         self._fail_wave(victims, now=now)
+        if island_of:
+            kept: list[tuple[NodeId, str]] = []
+            for entry in self._crashed_pool[pool_mark:]:
+                name = island_of.get(entry[0])
+                if name is None:
+                    kept.append(entry)
+                else:
+                    self._partition_suspended.setdefault(
+                        name, []
+                    ).append(entry)
+            self._crashed_pool[pool_mark:] = kept
         plane.counters.manager_failovers += len(victims)
 
     def _run_repair_pass(self, now: float) -> int:

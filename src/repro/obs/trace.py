@@ -292,12 +292,37 @@ NULL_TRACER = Tracer()
 # JSONL <-> Chrome trace format
 # ----------------------------------------------------------------------
 def read_spans(lines) -> list[dict]:
-    """Parse span JSON-lines (an iterable of strings) into records."""
+    """Parse span JSON-lines (an iterable of strings) into records.
+
+    A killed writer (SIGTERM mid-sweep, a crashed run) can leave one
+    partially written *final* line; that tail is skipped with a
+    warning rather than failing the whole export.  A malformed line
+    anywhere *before* the end still raises :class:`ValueError` — an
+    interior parse failure means the log is corrupt, not merely
+    truncated, and an export should never silently drop real spans.
+    """
+    from repro.obs.log import get_logger
+
     records = []
+    bad_line: int | None = None
+    line_no = 0
     for line in lines:
+        line_no += 1
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        if bad_line is not None:
+            raise ValueError(
+                f"malformed span record at line {bad_line}"
+            )
+        try:
             records.append(json.loads(line))
+        except json.JSONDecodeError:
+            bad_line = line_no  # tolerated iff nothing follows it
+    if bad_line is not None:
+        get_logger(__name__).warning(
+            "span log: skipping truncated final line %d", bad_line
+        )
     return records
 
 

@@ -30,6 +30,7 @@ from repro.scenarios.spec import (
     NetworkDegradation,
     NodeCrash,
     NodeJoin,
+    NodeRecovery,
     Partition,
     PartitionHeal,
     ScenarioSpec,
@@ -50,6 +51,7 @@ __all__ = [
     "NetworkDegradation",
     "NodeCrash",
     "NodeJoin",
+    "NodeRecovery",
     "Partition",
     "PartitionHeal",
     "ScenarioMetrics",

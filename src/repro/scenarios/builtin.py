@@ -14,6 +14,7 @@ workloads; scale/perf experiments override fields via variants or
 
 from __future__ import annotations
 
+from repro.faults.chaos import chaos_timeline
 from repro.scenarios.registry import register
 from repro.scenarios.spec import (
     ChurnWave,
@@ -23,6 +24,7 @@ from repro.scenarios.spec import (
     NetworkDegradation,
     NodeCrash,
     NodeJoin,
+    NodeRecovery,
     Partition,
     PartitionHeal,
     ScenarioSpec,
@@ -381,6 +383,49 @@ SUBSCRIPTION_FLAP = register(
     )
 )
 
+CRASH_RECOVER = register(
+    ScenarioSpec(
+        name="crash-recover",
+        description=(
+            "Six channel managers crash, then rejoin ten minutes "
+            "later under their original identities — §3.3 ownership "
+            "transfer forward on the crash and *back* on the "
+            "recovery, with caches catching up via bootstrap and the "
+            "anti-entropy pass."
+        ),
+        n_nodes=48,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=24, n_subscriptions=480),
+        events=(
+            NodeCrash(at=900.0, count=6, target="managers"),
+            NodeRecovery(at=1500.0, count=6),
+        ),
+    )
+)
+
+CHAOS_SOAK = register(
+    ScenarioSpec(
+        name="chaos-soak",
+        description=(
+            "Seeded chaos schedules: each variant expands one chaos "
+            "seed into a deterministic fault+recovery timeline (loss "
+            "bursts, partition+heal pairs, crash+recover waves, "
+            "correlated manager failures) — same seed, same timeline, "
+            "same metrics, so chaos runs diff across PRs like every "
+            "other scenario."
+        ),
+        n_nodes=48,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=24, n_subscriptions=480),
+        variants={
+            f"chaos-{chaos_seed}": {
+                "events": chaos_timeline(chaos_seed, 3600.0, 48)
+            }
+            for chaos_seed in range(3)
+        },
+    )
+)
+
 #: Names guaranteed registered, in narrative order (docs/tests).
 BUILTIN_NAMES = (
     "steady-state",
@@ -398,4 +443,6 @@ BUILTIN_NAMES = (
     "scheme-fault-sweep",
     "rate-limited-servers",
     "subscription-flap",
+    "crash-recover",
+    "chaos-soak",
 )

@@ -1,0 +1,214 @@
+"""Runtime invariant monitors for scenario runs (opt-in).
+
+:class:`InvariantMonitor` watches a running
+:class:`~repro.core.system.CoronaSystem` for the properties the
+protocol is supposed to preserve under faults and recovery:
+
+* **population conservation** — the live population always equals
+  ``n_nodes + joins - crashes`` (recoveries ride the join counter);
+* **routing self-consistency** — no node's routing table or leaf set
+  references a node that is no longer in the overlay (repair after a
+  crash wave must scrub the dead);
+* **§3.3 one-interval staleness** — once a channel's repair dirty-set
+  entry has been cleared (a clean anti-entropy pass proved every
+  member converged), no wedge member may lag the manager's digest;
+* **manager coverage** — the manager map and the nodes' ``managed``
+  channel records form a bijection over live nodes;
+* **no lost subscription** — at the end of the run every subscription
+  the workload issued is registered on some manager.
+
+Every check is **read-only**: the monitor draws no randomness and
+mutates no protocol state, so a monitors-on run is byte-identical to
+a monitors-off run (``tests/scenarios/test_invariants.py`` proves it
+against the committed CI baselines).  Violations are recorded as
+labeled registry counters (``invariant_violations{invariant=...}``)
+plus a structured report the runner exposes as
+``ScenarioMetrics.violations`` (deliberately excluded from
+``to_dict`` so baseline bytes cannot depend on it).
+"""
+
+from __future__ import annotations
+
+from repro.core.system import CoronaSystem
+from repro.obs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.scenarios.spec import ScenarioSpec
+
+
+_log = get_logger(__name__)
+
+#: Cap on recorded violations per invariant: a systemic breakage logs
+#: its shape, not one entry per node per round.
+_MAX_PER_INVARIANT = 32
+
+
+class InvariantMonitor:
+    """Read-only invariant checks over one scenario run."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        system: CoronaSystem,
+        registry: MetricsRegistry,
+    ) -> None:
+        self.spec = spec
+        self.system = system
+        self.violations: list[dict] = []
+        self._counter = registry.counter(
+            "invariant_violations",
+            "invariant monitor violations observed",
+            labelnames=("invariant",),
+        )
+        self._per_invariant: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _record(self, invariant: str, at: float, detail: str) -> None:
+        self._counter.labels(invariant=invariant).inc()
+        seen = self._per_invariant.get(invariant, 0)
+        self._per_invariant[invariant] = seen + 1
+        if seen < _MAX_PER_INVARIANT:
+            self.violations.append(
+                {"invariant": invariant, "at": at, "detail": detail}
+            )
+        _log.warning(
+            "invariant %s violated at t=%.0f: %s", invariant, at, detail
+        )
+
+    def report(self) -> dict:
+        """JSON-safe summary: per-invariant counts + the entries."""
+        counts = {
+            invariant: count
+            for invariant, count in sorted(self._per_invariant.items())
+        }
+        return {"violation_counts": counts, "violations": self.violations}
+
+    # ------------------------------------------------------------------
+    def check_round(self, now: float) -> None:
+        """Run the per-round checks (after a maintenance round)."""
+        self._check_population(now)
+        self._check_routing(now)
+        self._check_manager_coverage(now)
+        self._check_staleness(now)
+
+    def check_final(
+        self, now: float, registered: int, total_subscriptions: int
+    ) -> None:
+        """End-of-run checks on the collated subscription totals."""
+        self.check_round(now)
+        if registered != total_subscriptions:
+            self._record(
+                "no-lost-subscription",
+                now,
+                f"{registered} subscriptions registered at end, "
+                f"workload issued {total_subscriptions}",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_population(self, now: float) -> None:
+        system = self.system
+        expected = (
+            self.spec.n_nodes
+            + system.counters.joins
+            - system.counters.crashes
+        )
+        if len(system.nodes) != expected:
+            self._record(
+                "population-conservation",
+                now,
+                f"{len(system.nodes)} nodes live, expected {expected} "
+                f"({self.spec.n_nodes} initial + "
+                f"{system.counters.joins} joins - "
+                f"{system.counters.crashes} crashes)",
+            )
+
+    def _check_routing(self, now: float) -> None:
+        live = self.system.overlay.nodes
+        for node_id, pastry in live.items():
+            for contact in pastry.known_nodes():
+                if contact not in live:
+                    self._record(
+                        "routing-consistency",
+                        now,
+                        f"node {node_id.hex()[:8]} still references "
+                        f"departed node {contact.hex()[:8]}",
+                    )
+                    return  # one entry per round: the shape, not a census
+
+    def _check_manager_coverage(self, now: float) -> None:
+        system = self.system
+        for url, manager_id in system.managers.items():
+            node = system.nodes.get(manager_id)
+            if node is None:
+                self._record(
+                    "manager-coverage",
+                    now,
+                    f"manager {manager_id.hex()[:8]} of {url} is not "
+                    "a live node",
+                )
+                return
+            if url not in node.managed:
+                self._record(
+                    "manager-coverage",
+                    now,
+                    f"node {manager_id.hex()[:8]} is mapped as manager "
+                    f"of {url} but does not manage it",
+                )
+                return
+        for node_id, node in system.nodes.items():
+            for url in node.managed:
+                if system.managers.get(url) != node_id:
+                    self._record(
+                        "manager-coverage",
+                        now,
+                        f"node {node_id.hex()[:8]} manages {url} but "
+                        "the manager map disagrees",
+                    )
+                    return
+
+    def _check_staleness(self, now: float) -> None:
+        """§3.3 one-interval staleness on converged channels.
+
+        Mirrors the repair pass's "behind" predicate exactly, but only
+        over channels *outside* the repair dirty set: those a clean
+        pass proved converged (or that never changed), where a lagging
+        member means the one-interval bound silently broke.  Channels
+        still in the dirty set are legitimately mid-catch-up.
+        """
+        system = self.system
+        dirty = system._repair_dirty_urls
+        converged = {
+            url: manager_id
+            for url, manager_id in system.managers.items()
+            if url not in dirty
+        }
+        if not converged:
+            return
+        polling: dict[str, list[tuple[object, object]]] = {}
+        for node_id, node in system.nodes.items():
+            for url, task in node.scheduler.tasks.items():
+                if url in converged:
+                    polling.setdefault(url, []).append((node_id, task))
+        for url, manager_id in converged.items():
+            manager = system.nodes.get(manager_id)
+            if manager is None:
+                continue  # manager-coverage reports this one
+            source = manager.scheduler.tasks.get(url)
+            if source is None or not source.content.lines:
+                continue
+            for member_id, task in polling.get(url, ()):
+                if member_id == manager_id:
+                    continue
+                if not task.content.lines and task.content.version == 0:
+                    continue  # bootstrap, not staleness
+                behind = (
+                    task.content.lines != source.content.lines
+                    and task.content.version <= source.content.version
+                )
+                if behind:
+                    self._record(
+                        "one-interval-staleness",
+                        now,
+                        f"member {member_id.hex()[:8]} lags the manager "
+                        f"digest of {url} outside the repair dirty set",
+                    )
+                    return

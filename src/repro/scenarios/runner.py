@@ -35,6 +35,7 @@ from repro.core.system import CoronaSystem
 from repro.faults import FaultPlane
 from repro.faults.plane import FaultCounters
 from repro.obs import Observability
+from repro.scenarios.invariants import InvariantMonitor
 from repro.scenarios.spec import (
     ChurnWave,
     CorrelatedManagerFailure,
@@ -43,6 +44,7 @@ from repro.scenarios.spec import (
     NetworkDegradation,
     NodeCrash,
     NodeJoin,
+    NodeRecovery,
     Partition,
     PartitionHeal,
     ScenarioSpec,
@@ -66,6 +68,7 @@ REGISTRY_COUNTER_KEYS: tuple[tuple[str, str], ...] = (
     ("diff_messages", "diff_messages"),
     ("joins", "joins"),
     ("crashes", "crashes"),
+    ("recoveries", "recoveries"),
     ("rehomed_channels", "rehomed_channels"),
     ("work_summaries_rebuilt", "work_summaries_rebuilt"),
     ("work_cluster_merges", "work_cluster_merges"),
@@ -148,6 +151,10 @@ class ScenarioMetrics:
     polls_per_min: list[float] = field(default_factory=list)
     detection_bucket_times: list[float] = field(default_factory=list)
     detection_delays: list[float] = field(default_factory=list)
+    #: Invariant-monitor violations (``--check-invariants`` only).
+    #: Deliberately excluded from ``to_dict``/``_HEAD_KEYS`` so the
+    #: committed baseline bytes cannot depend on monitoring.
+    violations: list = field(default_factory=list)
 
     def __getattr__(self, name: str) -> int:
         # Only consulted for names not found normally: resolve the
@@ -181,6 +188,7 @@ class ScenarioMetrics:
         "diff_messages",
         "joins",
         "crashes",
+        "recoveries",
         "rehomed_channels",
         "work_summaries_rebuilt",
         "work_cluster_merges",
@@ -236,6 +244,7 @@ class ScenarioMetrics:
             f"  population : {self.n_nodes_initial} -> "
             f"{self.n_nodes_final} nodes  "
             f"(joins {self.joins}, crashes {self.crashes}, "
+            f"recoveries {self.recoveries}, "
             f"re-homed channels {self.rehomed_channels})",
             f"  workload   : {self.n_channels} channels, "
             f"{self.total_subscriptions} subscriptions "
@@ -281,11 +290,16 @@ class ScenarioRunner:
         spec: ScenarioSpec,
         seed: int = 0,
         obs: Observability | None = None,
+        check_invariants: bool = False,
     ) -> None:
         spec.validate()
         self.spec = spec
         self.seed = seed
         self.obs = obs
+        #: Opt-in :class:`~repro.scenarios.invariants.InvariantMonitor`
+        #: hooked after every maintenance round; the monitors are
+        #: read-only, so the metrics stay byte-identical either way.
+        self.check_invariants = check_invariants
 
     # ------------------------------------------------------------------
     def run(self, variant: str | None = None) -> ScenarioMetrics:
@@ -295,7 +309,13 @@ class ScenarioRunner:
         if variant is not None:
             spec = self.spec.variant_spec(variant)
             label = variant
-        return _execute(spec, label, self.seed, obs=self.obs)
+        return _execute(
+            spec,
+            label,
+            self.seed,
+            obs=self.obs,
+            check_invariants=self.check_invariants,
+        )
 
     def run_all(self) -> dict[str, ScenarioMetrics]:
         """Every variant (or just the base spec), label → metrics."""
@@ -311,6 +331,7 @@ def _execute(
     label: str,
     seed: int,
     obs: Observability | None = None,
+    check_invariants: bool = False,
 ) -> ScenarioMetrics:
     if obs is None:
         obs = Observability.off()
@@ -414,11 +435,14 @@ def _execute(
     #: ``final_registered_subscriptions == total_subscriptions``).
     flap_pools: list[tuple[dict, int]] = []
 
-    def heal_by_name(name: str) -> None:
+    def heal_by_name(name: str, now: float) -> None:
         # Shared by Partition auto-heal and explicit PartitionHeal;
-        # guarded because whichever fires second is a no-op.
+        # guarded because whichever fires second is a no-op.  Routed
+        # through the system so managers the failover detector
+        # suspended behind the partition rejoin on heal (population
+        # conservation).
         if name in faults.partitions:
-            faults.heal(name)
+            system.heal_partition(name, now=now)
 
     for event in spec.events:
         injected += 1
@@ -444,6 +468,13 @@ def _execute(
                 event.at,
                 lambda now, ev=event: system.crash_nodes(
                     ev.count, now=now, rng=churn_rng, target=ev.target
+                ),
+            )
+        elif isinstance(event, NodeRecovery):
+            engine.schedule(
+                event.at,
+                lambda now, ev=event: system.recover_nodes(
+                    ev.count, now=now
                 ),
             )
         elif isinstance(event, FlashCrowd):
@@ -578,7 +609,7 @@ def _execute(
                     island is not None
                     and faults.partitions.get(ev.name) is island
                 ):
-                    faults.heal(ev.name)
+                    system.heal_partition(ev.name, now=now)
 
             engine.schedule(event.at, open_partition)
             if event.duration is not None:
@@ -589,7 +620,7 @@ def _execute(
         elif isinstance(event, PartitionHeal):
             engine.schedule(
                 event.at,
-                lambda now, name=event.name: heal_by_name(name),
+                lambda now, name=event.name: heal_by_name(name, now),
             )
         elif isinstance(event, CorrelatedManagerFailure):
             # Victims drawn from the fault generator, like partition
@@ -644,10 +675,22 @@ def _execute(
     # -- protocol loops ------------------------------------------------
     maintenance = config.maintenance_interval
 
+    monitor: InvariantMonitor | None = None
+    if check_invariants:
+        monitor = InvariantMonitor(spec, system, obs.registry)
+
+    def maintenance_round(now: float) -> None:
+        system.run_maintenance_round(now)
+        if monitor is not None:
+            # Read-only checks after the round settles: the monitor
+            # draws no randomness and mutates nothing, so metrics are
+            # byte-identical with monitoring on or off.
+            monitor.check_round(now)
+
     engine.schedule_every(
         maintenance * 0.5,
         maintenance,
-        lambda now: system.run_maintenance_round(now),
+        maintenance_round,
         until=spec.horizon,
     )
 
@@ -711,6 +754,14 @@ def _execute(
         counters["solver_work_memo_hits"]
         + counters["solver_work_shared_hits"]
     )
+    violations: list = []
+    if monitor is not None:
+        monitor.check_final(
+            spec.horizon,
+            registered=registered,
+            total_subscriptions=total_subscriptions,
+        )
+        violations = monitor.violations
     return ScenarioMetrics(
         scenario=spec.name,
         variant=label,
@@ -742,4 +793,5 @@ def _execute(
         ],
         detection_bucket_times=[float(t) for t in detect_series.times()],
         detection_delays=[float(v) for v in delays],
+        violations=violations,
     )

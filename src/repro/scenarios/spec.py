@@ -144,6 +144,31 @@ class NodeCrash:
 
 
 @dataclass(frozen=True)
+class NodeRecovery:
+    """``count`` previously crashed nodes rejoin at time ``at``.
+
+    Re-admits the oldest crashed nodes (crash order) through the
+    incremental join path: each recovers under its original address —
+    hence its original identifier — so the channels it anchored
+    re-home back to it, with subscription state transferred from the
+    interim managers, and its caches catch up through first-poll
+    bootstrap plus the anti-entropy repair pass within a bounded
+    number of maintenance rounds.  Validation rejects recoveries that
+    fire before any crash or revive more nodes than are down
+    (:meth:`ScenarioSpec._validate_recovery_timeline`).
+    """
+
+    kind: ClassVar[str] = "node-recovery"
+
+    at: float
+    count: int = 1
+
+    def validate(self) -> None:
+        if self.count < 1:
+            raise ScenarioSpecError("node-recovery count must be >= 1")
+
+
+@dataclass(frozen=True)
 class FlashCrowd:
     """A subscription spike on one channel (§3.1's server shield).
 
@@ -405,8 +430,8 @@ class SubscriptionFlap:
 
 
 ScenarioEvent = Union[
-    NodeJoin, NodeCrash, FlashCrowd, UpdateBurst, NetworkDegradation,
-    ChurnWave, MessageLoss, Partition, PartitionHeal,
+    NodeJoin, NodeCrash, NodeRecovery, FlashCrowd, UpdateBurst,
+    NetworkDegradation, ChurnWave, MessageLoss, Partition, PartitionHeal,
     CorrelatedManagerFailure, SubscriptionFlap,
 ]
 
@@ -414,8 +439,8 @@ ScenarioEvent = Union[
 EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (
-        NodeJoin, NodeCrash, FlashCrowd, UpdateBurst, NetworkDegradation,
-        ChurnWave, MessageLoss, Partition, PartitionHeal,
+        NodeJoin, NodeCrash, NodeRecovery, FlashCrowd, UpdateBurst,
+        NetworkDegradation, ChurnWave, MessageLoss, Partition, PartitionHeal,
         CorrelatedManagerFailure, SubscriptionFlap,
     )
 }
@@ -532,6 +557,7 @@ class ScenarioSpec:
                     f"the workload's {self.workload.n_channels} channels"
                 )
         self._validate_partition_timeline()
+        self._validate_recovery_timeline()
         total_crashes = sum(
             event.count for event in self.events
             if isinstance(event, (NodeCrash, CorrelatedManagerFailure))
@@ -600,6 +626,55 @@ class ScenarioSpec:
                     else:
                         open_until = pending_heals.pop(0)
 
+    def _validate_recovery_timeline(self) -> None:
+        """Recoveries must revive nodes that are actually down.
+
+        Mirrors the partition/heal pairing checks: a recovery that
+        fires before any crash, or that revives more nodes than the
+        timeline has crashed by then (net of earlier recoveries), is a
+        spec bug — at runtime it would silently recover fewer nodes
+        than declared, skewing the scenario's population arithmetic.
+        Crash counts are the events' nominal counts; churn-wave ticks
+        contribute ``crashes_per_tick`` per tick.
+        """
+        recoveries = sorted(
+            (event for event in self.events
+             if isinstance(event, NodeRecovery)),
+            key=lambda ev: ev.at,
+        )
+        if not recoveries:
+            return
+        crash_times: list[tuple[float, int]] = []
+        for event in self.events:
+            if isinstance(event, (NodeCrash, CorrelatedManagerFailure)):
+                crash_times.append((event.at, event.count))
+            elif isinstance(event, ChurnWave) and event.crashes_per_tick:
+                tick = event.at
+                end = min(event.at + event.duration, self.horizon)
+                while tick <= end:
+                    crash_times.append((tick, event.crashes_per_tick))
+                    tick += event.interval
+        crash_times.sort(key=lambda pair: pair[0])
+        recovered_so_far = 0
+        for event in recoveries:
+            crashed_before = sum(
+                count for at, count in crash_times if at < event.at
+            )
+            if crashed_before == 0:
+                raise ScenarioSpecError(
+                    f"node-recovery at t={event.at} fires before any "
+                    "crash; nothing is down to recover"
+                )
+            down = crashed_before - recovered_so_far
+            if event.count > down:
+                raise ScenarioSpecError(
+                    f"node-recovery at t={event.at} revives "
+                    f"{event.count} nodes but only {down} are down "
+                    f"({crashed_before} crashed, {recovered_so_far} "
+                    "already recovered)"
+                )
+            recovered_so_far += event.count
+
     # ------------------------------------------------------------------
     def variant_spec(self, label: str) -> "ScenarioSpec":
         """The spec with variant ``label``'s overrides applied."""
@@ -611,9 +686,25 @@ class ScenarioSpec:
         overrides = dict(self.variants[label])
         workload_overrides = overrides.pop("workload", {})
         config_overrides = overrides.pop("config", {})
+        events_override = overrides.pop("events", None)
         if "variants" in overrides or "name" in overrides:
             raise ScenarioSpecError(
                 "variants cannot override 'name' or nest 'variants'"
+            )
+        if events_override is not None:
+            # JSON-shaped timelines are allowed (the chaos variants
+            # carry plain dicts so to_dict() stays JSON-safe).
+            if isinstance(events_override, (str, bytes)) or not hasattr(
+                events_override, "__iter__"
+            ):
+                raise ScenarioSpecError(
+                    f"variant {label!r} 'events' must be a list of "
+                    "events or event mappings"
+                )
+            overrides["events"] = tuple(
+                _event_from_dict(entry) if isinstance(entry, Mapping)
+                else entry
+                for entry in events_override
             )
         if not isinstance(config_overrides, Mapping):
             raise ScenarioSpecError(

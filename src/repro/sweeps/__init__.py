@@ -25,6 +25,14 @@ from repro.sweeps.farm import (
     run_sweep,
     run_tasks,
     variant_json,
+    write_variant_file,
+)
+from repro.sweeps.journal import (
+    JOURNAL_NAME,
+    JournalError,
+    JournalState,
+    SweepJournal,
+    load_journal,
 )
 from repro.sweeps.registry import (
     UnknownSweepError,
@@ -46,6 +54,10 @@ from repro.sweeps.worker import TaskOutcome, run_task
 from repro.sweeps import builtin as _builtin  # noqa: E402  (self-registration)
 
 __all__ = [
+    "JOURNAL_NAME",
+    "JournalError",
+    "JournalState",
+    "SweepJournal",
     "SweepRun",
     "SweepSelection",
     "SweepSpec",
@@ -56,6 +68,7 @@ __all__ = [
     "UnknownSweepError",
     "get_sweep",
     "list_sweeps",
+    "load_journal",
     "register",
     "run_sweep",
     "run_task",
@@ -63,6 +76,7 @@ __all__ = [
     "selections_for",
     "sweep_names",
     "variant_json",
+    "write_variant_file",
 ]
 
 del _builtin

@@ -71,10 +71,24 @@ BASELINE_SUITE = register(
     )
 )
 
+CHAOS_SOAK = register(
+    SweepSpec(
+        name="chaos-soak",
+        description=(
+            "Seeded chaos timelines (crashes, partitions, loss) with "
+            "recovery, one seed per worker — run with "
+            "--check-invariants for the CI soak job's violation "
+            "report."
+        ),
+        selections=(SweepSelection("chaos-soak"),),
+    )
+)
+
 #: Names guaranteed registered, in narrative order (docs/tests).
 BUILTIN_NAMES = (
     "churn-scale",
     "scheme-faults",
     "seed-grid",
     "baseline-suite",
+    "chaos-soak",
 )

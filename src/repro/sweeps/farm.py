@@ -45,7 +45,7 @@ import sys
 import time
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import connection, get_context
 from pathlib import Path
 
@@ -71,6 +71,38 @@ def variant_json(payload: dict) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def _atomic_write(target: Path, text: str) -> None:
+    """Write ``text`` via a temporary sibling + atomic rename.
+
+    A crashed or interrupted writer never leaves a truncated file
+    that could pass for a result — the target either holds the old
+    complete bytes or the new complete bytes.
+    """
+    staging = target.with_name(target.name + ".tmp")
+    staging.write_text(text)
+    os.replace(staging, target)
+
+
+def write_variant_file(root: Path, result: TaskResult) -> Path | None:
+    """Write one completed task's canonical per-variant JSON.
+
+    Layout matches :meth:`SweepRun.write_artifacts`
+    (``root/<scenario>/<label>.seed<N>.json``).  Returns the path, or
+    ``None`` for a failed task — an incomplete result is never
+    written as complete.  Called incrementally by the CLI as results
+    land, so a killed sweep leaves only whole files behind.
+    """
+    if not result.ok or result.payload is None:
+        return None
+    directory = root / result.task.scenario
+    directory.mkdir(parents=True, exist_ok=True)
+    target = (
+        directory / f"{result.task.label}.seed{result.task.seed}.json"
+    )
+    _atomic_write(target, variant_json(result.payload))
+    return target
+
+
 @dataclass
 class TaskResult:
     """Terminal state of one task after all its attempts."""
@@ -85,6 +117,10 @@ class TaskResult:
     error: str | None = None
     #: ``ScenarioMetrics.to_dict()`` — present iff ``status == "ok"``.
     payload: dict | None = None
+    #: Invariant monitor violations (``None`` unless the task ran with
+    #: ``check_invariants``).  Carried outside ``payload`` so variant
+    #: JSON bytes stay identical with monitoring on or off.
+    violations: list | None = None
 
     @property
     def ok(self) -> bool:
@@ -171,6 +207,33 @@ class SweepRun:
             title=f"{self.name} — sweep comparison ({self.jobs} worker(s))",
         )
 
+    def violation_report(self) -> dict:
+        """Invariant-monitor summary across monitored tasks.
+
+        JSON-safe; the CI chaos job uploads it as an artifact.  Tasks
+        that ran without monitoring (``violations is None``) are not
+        counted as clean — they are simply absent.
+        """
+        tasks = []
+        total = 0
+        for result in self.results:
+            if result.violations is None:
+                continue
+            total += len(result.violations)
+            tasks.append(
+                {
+                    "key": result.task.key,
+                    "status": result.status,
+                    "violations": result.violations,
+                }
+            )
+        return {
+            "sweep": self.name,
+            "monitored_tasks": len(tasks),
+            "total_violations": total,
+            "tasks": tasks,
+        }
+
     # ------------------------------------------------------------------
     def write_artifacts(self, out_dir: str | os.PathLike) -> list[Path]:
         """Write the merged artifact tree under ``out_dir``.
@@ -191,24 +254,14 @@ class SweepRun:
         root.mkdir(parents=True, exist_ok=True)
         written: list[Path] = []
         for result in self.results:
-            if not result.ok or result.payload is None:
-                continue
-            directory = root / result.task.scenario
-            directory.mkdir(parents=True, exist_ok=True)
-            target = (
-                directory
-                / f"{result.task.label}.seed{result.task.seed}.json"
-            )
-            staging = target.with_name(target.name + ".tmp")
-            staging.write_text(variant_json(result.payload))
-            os.replace(staging, target)
-            written.append(target)
+            target = write_variant_file(root, result)
+            if target is not None:
+                written.append(target)
         merged = root / "sweep.json"
-        staging = merged.with_name(merged.name + ".tmp")
-        staging.write_text(
-            json.dumps(self.merged(), indent=2, sort_keys=True) + "\n"
+        _atomic_write(
+            merged,
+            json.dumps(self.merged(), indent=2, sort_keys=True) + "\n",
         )
-        os.replace(staging, merged)
         written.append(merged)
         summary = root / "summary.txt"
         summary.write_text(self.comparison_table() + "\n")
@@ -296,6 +349,8 @@ def run_tasks(
     retries: int = 1,
     obs: Observability | None = None,
     sweep_name: str = "ad-hoc",
+    on_result=None,
+    max_respawns: int = 5,
 ) -> list[TaskResult]:
     """Execute ``tasks`` and return results in task order.
 
@@ -304,11 +359,26 @@ def run_tasks(
     ``jobs > 1`` fans tasks across that many spawn-started workers.
     Each task gets up to ``1 + retries`` attempts; a raised exception
     or (parallel only) a ``timeout`` overrun consumes one attempt.
+
+    ``on_result`` (when given) is called with each **terminal**
+    :class:`TaskResult` the moment it is known — the journaling hook:
+    results arrive in completion order, not enumeration order, and a
+    retried task is reported once, not per attempt.
+
+    ``max_respawns`` caps *consecutive* worker replacements (deaths
+    and timeout kills) with exponential backoff between them; once
+    that many workers in a row die without a single clean answer in
+    between, the environment is poisoned — out of memory, a broken
+    interpreter, an unimportable package — and the farm raises
+    :class:`RuntimeError` instead of burning through the grid one
+    doomed spawn at a time.
     """
     if retries < 0:
         raise ValueError("retries cannot be negative")
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive when set")
+    if max_respawns < 1:
+        raise ValueError("max_respawns must be at least 1")
     if obs is None:
         obs = Observability.off()
     tasks = list(tasks)
@@ -352,9 +422,12 @@ def run_tasks(
 
     with tracer.span("sweep.run", category="sweep") as run_span:
         if jobs <= 1:
-            results = _run_serial(tasks, retries, record)
+            results = _run_serial(tasks, retries, record, on_result)
         else:
-            results = _run_parallel(tasks, jobs, timeout, retries, record)
+            results = _run_parallel(
+                tasks, jobs, timeout, retries, record, on_result,
+                max_respawns,
+            )
         run_span.set(
             sweep=sweep_name,
             tasks=len(tasks),
@@ -370,24 +443,54 @@ def run_sweep(
     timeout: float | None = None,
     retries: int = 1,
     obs: Observability | None = None,
+    check_invariants: bool = False,
+    completed: dict[str, TaskResult] | None = None,
+    on_result=None,
+    max_respawns: int = 5,
 ) -> SweepRun:
-    """Validate ``spec``, run its grid, and wrap the merge logic."""
+    """Validate ``spec``, run its grid, and wrap the merge logic.
+
+    ``check_invariants`` attaches the runner's read-only invariant
+    monitors to every task (variant bytes are unchanged; violations
+    surface on :attr:`TaskResult.violations`).
+
+    ``completed`` (key → prior :class:`TaskResult`, typically from a
+    resume journal) skips every journaled task — ok *and* failed, so
+    the merged artifact is stable across a resume — and splices the
+    prior results back in at their enumeration positions.  Skipped
+    tasks are not re-reported through ``on_result``.
+    """
     spec.validate()
     if timeout is None:
         timeout = spec.timeout
-    results = run_tasks(
-        spec.tasks(),
+    grid = [
+        replace(task, check_invariants=True) if check_invariants else task
+        for task in spec.tasks()
+    ]
+    completed = completed or {}
+    todo = [task for task in grid if task.key not in completed]
+    fresh = run_tasks(
+        todo,
         jobs=jobs,
         timeout=timeout,
         retries=retries,
         obs=obs,
         sweep_name=spec.name,
+        on_result=on_result,
+        max_respawns=max_respawns,
     )
+    by_key = {result.task.key: result for result in fresh}
+    results = [
+        completed[task.key]
+        if task.key in completed
+        else by_key[task.key]
+        for task in grid
+    ]
     return SweepRun(name=spec.name, jobs=max(1, jobs), results=results)
 
 
 # ----------------------------------------------------------------------
-def _run_serial(tasks, retries, record) -> list[TaskResult]:
+def _run_serial(tasks, retries, record, on_result) -> list[TaskResult]:
     results: list[TaskResult] = []
     for task in tasks:
         result: TaskResult | None = None
@@ -411,15 +514,20 @@ def _run_serial(tasks, retries, record) -> list[TaskResult]:
                 wall_seconds=outcome.wall_seconds,
                 alloc_blocks=outcome.alloc_blocks,
                 payload=outcome.payload,
+                violations=outcome.violations,
             )
             record(result, started)
             break
         assert result is not None
         results.append(result)
+        if on_result is not None:
+            on_result(result)
     return results
 
 
-def _run_parallel(tasks, jobs, timeout, retries, record) -> list[TaskResult]:
+def _run_parallel(
+    tasks, jobs, timeout, retries, record, on_result, max_respawns
+) -> list[TaskResult]:
     ctx = get_context("spawn")
     results: list[TaskResult | None] = [None] * len(tasks)
     #: (task index, attempt number), FIFO; retries requeue at the back
@@ -428,6 +536,29 @@ def _run_parallel(tasks, jobs, timeout, retries, record) -> list[TaskResult]:
         (index, 1) for index in range(len(tasks))
     )
     workers = [_Worker(ctx) for _ in range(min(jobs, len(tasks)))]
+    #: Consecutive worker replacements without a clean answer in
+    #: between — the poisoned-environment detector.
+    respawn_streak = 0
+
+    def note_respawn(reason: str) -> None:
+        """Count a replacement; back off, and fail fast past the cap.
+
+        Each death in a row doubles the pause before the next spawn
+        (capped at 1 s); ``max_respawns`` deaths with no completed
+        answer in between means every fresh worker is dying too —
+        out of memory, a broken interpreter, an unimportable package
+        — so raise instead of grinding the whole grid through doomed
+        respawns.  Any cleanly received message resets the streak.
+        """
+        nonlocal respawn_streak
+        respawn_streak += 1
+        if respawn_streak > max_respawns:
+            raise RuntimeError(
+                f"{respawn_streak} consecutive worker deaths with no "
+                "completed task in between — the environment looks "
+                f"poisoned; last error: {reason}"
+            )
+        time.sleep(min(0.05 * 2 ** (respawn_streak - 1), 1.0))
 
     def settle(worker: _Worker, message: tuple | None, died: str | None):
         """Resolve the attempt in flight on ``worker``."""
@@ -443,8 +574,11 @@ def _run_parallel(tasks, jobs, timeout, retries, record) -> list[TaskResult]:
                 wall_seconds=outcome.wall_seconds,
                 alloc_blocks=outcome.alloc_blocks,
                 payload=outcome.payload,
+                violations=outcome.violations,
             )
             record(results[index], worker.dispatched_at)
+            if on_result is not None:
+                on_result(results[index])
             return
         error = died if message is None else str(message[1])
         failure = TaskResult(
@@ -458,6 +592,8 @@ def _run_parallel(tasks, jobs, timeout, retries, record) -> list[TaskResult]:
             pending.append((index, attempt + 1))
         else:
             results[index] = failure
+            if on_result is not None:
+                on_result(failure)
 
     try:
         while pending or any(not worker.idle for worker in workers):
@@ -486,13 +622,12 @@ def _run_parallel(tasks, jobs, timeout, retries, record) -> list[TaskResult]:
                         code = worker.process.exitcode
                         position = workers.index(worker)
                         worker.kill()
+                        reason = f"worker died (exit code {code})"
+                        settle(worker, None, reason)
+                        note_respawn(reason)
                         workers[position] = _Worker(ctx)
-                        settle(
-                            worker,
-                            None,
-                            f"worker died (exit code {code})",
-                        )
                         continue
+                    respawn_streak = 0
                     settle(worker, message, None)
             if timeout is not None:
                 now = time.perf_counter()
@@ -502,14 +637,12 @@ def _run_parallel(tasks, jobs, timeout, retries, record) -> list[TaskResult]:
                     if now - worker.dispatched_at < timeout:
                         continue
                     worker.kill()
-                    replacement = _Worker(ctx)
-                    replacement.item = None
-                    workers[position] = replacement
-                    settle(
-                        worker,
-                        None,
-                        f"timed out after {timeout:g}s (worker killed)",
+                    reason = (
+                        f"timed out after {timeout:g}s (worker killed)"
                     )
+                    settle(worker, None, reason)
+                    note_respawn(reason)
+                    workers[position] = _Worker(ctx)
     finally:
         for worker in workers:
             if worker.idle:

@@ -44,6 +44,11 @@ class SweepTask:
     scenario: str
     variant: str | None = None
     seed: int = 0
+    #: Run with the runner's invariant monitors attached.  Monitors
+    #: are read-only (monitored runs stay byte-identical), so this
+    #: does not participate in ``key``: the cell's identity — and its
+    #: artifacts — are the same with or without monitoring.
+    check_invariants: bool = False
 
     @property
     def label(self) -> str:

@@ -48,6 +48,10 @@ class TaskOutcome:
     payload: dict
     wall_seconds: float
     alloc_blocks: int
+    #: Invariant monitor violations (``None`` unless the task ran with
+    #: ``check_invariants``; ``[]`` for a clean monitored run).  Kept
+    #: out of ``payload`` so variant JSON stays baseline-identical.
+    violations: list | None = None
 
 
 def run_task(task: SweepTask) -> TaskOutcome:
@@ -57,7 +61,11 @@ def run_task(task: SweepTask) -> TaskOutcome:
     from repro.scenarios.registry import get_scenario
     from repro.scenarios.runner import ScenarioRunner
 
-    runner = ScenarioRunner(get_scenario(task.scenario), seed=task.seed)
+    runner = ScenarioRunner(
+        get_scenario(task.scenario),
+        seed=task.seed,
+        check_invariants=task.check_invariants,
+    )
     alloc_start = sys.getallocatedblocks()
     wall_start = time.perf_counter()
     metrics = runner.run(task.variant)
@@ -67,6 +75,9 @@ def run_task(task: SweepTask) -> TaskOutcome:
         payload=metrics.to_dict(),
         wall_seconds=wall,
         alloc_blocks=alloc,
+        violations=(
+            list(metrics.violations) if task.check_invariants else None
+        ),
     )
 
 

@@ -1,0 +1,108 @@
+"""Chaos schedules: one seed, one timeline, byte for byte.
+
+The chaos generator is the determinism contract's front line: the
+same ``(seed, horizon, n_nodes)`` must expand to the same timeline on
+every machine and process (string seeding hashes via SHA-512, not
+``PYTHONHASHSEED``), and every timeline it emits must pass scenario
+validation — partitions heal, crashes recover, survivors remain.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.chaos import CHAOS_FAMILIES, chaos_timeline
+from repro.scenarios import ScenarioRunner
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+class TestDeterminism:
+    def test_same_seed_same_timeline_bytes(self):
+        first = json.dumps(chaos_timeline(7, 3600.0, 48), sort_keys=True)
+        second = json.dumps(chaos_timeline(7, 3600.0, 48), sort_keys=True)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        timelines = {
+            json.dumps(chaos_timeline(seed, 3600.0, 48), sort_keys=True)
+            for seed in range(6)
+        }
+        assert len(timelines) > 1
+
+    def test_expansion_is_process_stable(self):
+        # Pinned bytes: if this ever changes, the chaos-soak baseline
+        # variants silently become different experiments.
+        timeline = chaos_timeline(0, 3600.0, 48)
+        assert timeline == sorted(timeline, key=lambda e: e["at"])
+        assert all(e["kind"] for e in timeline)
+        assert all(e["at"] == round(e["at"] / 30.0) * 30.0 for e in timeline)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_timelines_validate_as_scenarios(self, seed):
+        # Every drawn timeline must survive full scenario validation
+        # through the same 'events' override path the built-in uses —
+        # partition pairing, recovery arithmetic, the survivor floor.
+        events = chaos_timeline(seed, 3600.0, 48)
+        probe = get_scenario("chaos-soak")
+        adhoc = ScenarioSpec(
+            name="chaos-adhoc",
+            n_nodes=48,
+            horizon=3600.0,
+            workload=probe.workload,
+            variants={"x": {"events": events}},
+        )
+        adhoc.variant_spec("x").validate()
+
+    def test_crash_budget_leaves_survivors(self):
+        for seed in range(10):
+            events = chaos_timeline(seed, 7200.0, 16, incidents=8)
+            crashed = sum(
+                e["count"]
+                for e in events
+                if e["kind"] in ("node-crash", "correlated-manager-failure")
+            )
+            recovered = sum(
+                e["count"] for e in events if e["kind"] == "node-recovery"
+            )
+            assert crashed == recovered
+            assert crashed <= max(2, 16 // 4)
+
+    def test_partitions_always_heal(self):
+        for seed in range(10):
+            events = chaos_timeline(seed, 3600.0, 48)
+            opened = {
+                e["name"] for e in events if e["kind"] == "partition"
+            }
+            healed = {
+                e["name"] for e in events if e["kind"] == "partition-heal"
+            }
+            assert opened == healed
+
+    def test_families_are_the_documented_four(self):
+        assert CHAOS_FAMILIES == ("loss", "partition", "crash", "managers")
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="horizon"):
+            chaos_timeline(0, 0.0, 48)
+        with pytest.raises(ValueError, match="n_nodes"):
+            chaos_timeline(0, 3600.0, 4)
+        with pytest.raises(ValueError, match="too short"):
+            chaos_timeline(0, 90.0, 48)
+        with pytest.raises(ValueError, match="incident"):
+            chaos_timeline(0, 3600.0, 48, incidents=0)
+
+
+class TestChaosScenario:
+    def test_same_seed_byte_identical_metrics(self):
+        spec = get_scenario("chaos-soak")
+
+        def run() -> str:
+            metrics = ScenarioRunner(spec, seed=0).run("chaos-1")
+            return json.dumps(metrics.to_dict(), sort_keys=True)
+
+        assert run() == run()

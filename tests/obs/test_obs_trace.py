@@ -191,6 +191,18 @@ class TestRoundTrip:
         records = read_spans(['{"name": "a"}', "", "  ", '{"name": "b"}'])
         assert [r["name"] for r in records] == ["a", "b"]
 
+    def test_read_spans_tolerates_truncated_final_line(self):
+        # A killed writer can leave one partial trailing line; the
+        # export skips it (with a warning) instead of failing.
+        records = read_spans(['{"name": "a"}', '{"name": "b", "du'])
+        assert [r["name"] for r in records] == ["a"]
+
+    def test_read_spans_rejects_interior_corruption(self):
+        # A bad line *followed by* a good one means the log is
+        # corrupt, not truncated — that must stay loud.
+        with pytest.raises(ValueError, match="line 2"):
+            read_spans(['{"name": "a"}', '{"torn', '{"name": "c"}'])
+
     def _sample_records(self):
         sink = io.StringIO()
         tracer = Tracer(sink=sink)

@@ -1,0 +1,195 @@
+"""The recovery plane: rejoin-after-heal, resync, timeline validation.
+
+Crashed nodes re-enter through the incremental join path under their
+*original* addresses — hence their original identifiers — so the
+re-homed channels move back and the cloud converges to the same
+structure a never-crashed twin has.  Partition heal re-admits the
+managers a partition silenced, so partition scenarios conserve
+population end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CoronaConfig
+from repro.core.system import CoronaSystem
+from repro.scenarios import (
+    NodeCrash,
+    NodeRecovery,
+    ScenarioRunner,
+    ScenarioSpecError,
+)
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ChurnWave
+from repro.simulation.webserver import WebServerFarm
+from tests.scenarios.conftest import tiny_spec
+
+
+def make_farm() -> WebServerFarm:
+    farm = WebServerFarm(seed=21)
+    for index in range(8):
+        farm.host(
+            f"http://feed{index}.example/rss",
+            update_interval=90.0 + 30.0 * index,
+            target_bytes=2000,
+        )
+    return farm
+
+
+def make_system(farm: WebServerFarm) -> CoronaSystem:
+    config = CoronaConfig(
+        polling_interval=60.0,
+        maintenance_interval=120.0,
+        base=4,
+        scheme="lite",
+    )
+    system = CoronaSystem(
+        n_nodes=40, config=config, fetcher=farm, seed=51
+    )
+    client = 0
+    for rank in range(8):
+        url = f"http://feed{rank}.example/rss"
+        for _ in range(12):
+            system.subscribe(url, f"client-{client}", now=0.0)
+            client += 1
+    return system
+
+
+def warm(system: CoronaSystem, farm: WebServerFarm, until: float) -> float:
+    now = 0.0
+    while now < until:
+        now += 30.0
+        farm.advance_to(now)
+        system.poll_due(now)
+        if int(now) % 120 == 0:
+            system.run_maintenance_round(now)
+    return now
+
+
+def structure(system: CoronaSystem) -> tuple:
+    """The state that must converge back after crash + recover."""
+    return (
+        frozenset(system.nodes),
+        dict(system.managers),
+        {
+            node_id: node.registry.export_state()
+            for node_id, node in system.nodes.items()
+        },
+    )
+
+
+class TestCrashThenRecover:
+    def test_recovered_cloud_matches_never_crashed_twin(self):
+        farm_a, farm_b = make_farm(), make_farm()
+        crashed = make_system(farm_a)
+        pristine = make_system(farm_b)
+        now = warm(crashed, farm_a, 600.0)
+        warm(pristine, farm_b, 600.0)
+
+        victims = crashed.crash_nodes(5, now=now)
+        assert len(victims) == 5
+        assert len(crashed.nodes) == 35
+
+        recovered = crashed.recover_nodes(5, now=now + 120.0)
+        # Same identities back: the address is the identity, so the
+        # rejoin reproduces the original node ids in crash order.
+        assert recovered == victims
+        assert frozenset(crashed.nodes) == frozenset(pristine.nodes)
+
+        # Let anti-entropy settle, then the structures must agree:
+        # same membership, same manager map, same per-node
+        # subscription state as the twin that never crashed.
+        settle = now + 120.0
+        for _ in range(4):
+            settle += 120.0
+            crashed.run_maintenance_round(settle)
+            pristine.run_maintenance_round(settle)
+        assert structure(crashed) == structure(pristine)
+
+    def test_recover_is_bounded_by_the_crashed_pool(self):
+        farm = make_farm()
+        system = make_system(farm)
+        now = warm(system, farm, 300.0)
+        system.crash_nodes(2, now=now)
+        # Asking for more than ever crashed revives only the crashed.
+        recovered = system.recover_nodes(10, now=now + 60.0)
+        assert len(recovered) == 2
+        assert len(system.nodes) == 40
+        assert system.recover_nodes(1, now=now + 120.0) == []
+
+    def test_recoveries_ride_the_join_counter(self):
+        farm = make_farm()
+        system = make_system(farm)
+        now = warm(system, farm, 300.0)
+        system.crash_nodes(3, now=now)
+        system.recover_nodes(3, now=now + 60.0)
+        assert system.counters.crashes == 3
+        assert system.counters.joins == 3
+        assert system.counters.recoveries == 3
+        # The population invariant the monitor checks holds exactly.
+        assert len(system.nodes) == 40
+
+
+class TestScenarioLevelRecovery:
+    def test_runner_executes_node_recovery(self):
+        spec = tiny_spec(
+            events=(
+                NodeCrash(at=240.0, count=2),
+                NodeRecovery(at=420.0, count=2),
+            )
+        )
+        metrics = ScenarioRunner(spec, seed=3).run()
+        assert metrics.crashes == 2
+        assert metrics.recoveries == 2
+        assert metrics.joins == 2
+        assert metrics.n_nodes_final == spec.n_nodes
+
+    def test_partition_heal_conserves_population(self):
+        metrics = ScenarioRunner(
+            get_scenario("partition-heal"), seed=0
+        ).run()
+        assert metrics.n_nodes_final == metrics.n_nodes_initial
+        assert metrics.recoveries == metrics.crashes
+
+
+class TestRecoveryTimelineValidation:
+    def test_recovery_before_any_crash_is_rejected(self):
+        with pytest.raises(ScenarioSpecError, match="before any crash"):
+            tiny_spec(
+                events=(
+                    NodeRecovery(at=120.0, count=1),
+                    NodeCrash(at=300.0, count=1),
+                )
+            ).validate()
+
+    def test_over_recovery_is_rejected_with_the_arithmetic(self):
+        with pytest.raises(
+            ScenarioSpecError, match=r"revives 3 nodes but only 1"
+        ):
+            tiny_spec(
+                events=(
+                    NodeCrash(at=120.0, count=2),
+                    NodeRecovery(at=240.0, count=1),
+                    NodeRecovery(at=300.0, count=3),
+                )
+            ).validate()
+
+    def test_churn_wave_crashes_count_as_recoverable(self):
+        spec = tiny_spec(
+            events=(
+                ChurnWave(
+                    at=120.0,
+                    duration=240.0,
+                    interval=60.0,
+                    joins_per_tick=0,
+                    crashes_per_tick=1,
+                ),
+                NodeRecovery(at=600.0, count=2),
+            )
+        )
+        spec.validate()  # five wave crashes cover a 2-node recovery
+
+    def test_valid_crash_recover_pairs_pass(self):
+        get_scenario("crash-recover").validate()
+        get_scenario("chaos-soak").validate()
