@@ -42,16 +42,21 @@ from repro.sweeps import SweepTask, run_tasks  # noqa: E402
 #: The fixed-seed scenarios CI gates on.  Kept small and fast; the
 #: churn-scale-sweep is exercised by the benchmark suite instead so
 #: its timings land in BENCH_timings_*.json without gating CI runtime.
-#: The two fault scenarios gate the fault plane end to end: their
+#: The fault scenarios gate the fault plane end to end: their
 #: baselines pin messages_dropped / retransmissions / repair_diffs /
 #: manager_failovers exactly (fault decisions draw from the plane's
 #: own seeded generator, so they are as deterministic as everything
-#: else).
+#: else).  The two link scenarios extend the gate to the per-link
+#: table: queued_messages / queue_drops / retries_suppressed /
+#: polls_shed pin the token-bucket, backoff and shedding paths the
+#: same way (the table draws from its own seeded generator too).
 BASELINE_SCENARIOS = (
     "steady-state",
     "heavy-churn",
     "lossy-overlay",
     "partition-heal",
+    "congested-relay",
+    "asymmetric-loss",
 )
 BASELINE_SEED = 0
 

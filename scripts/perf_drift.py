@@ -30,7 +30,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.obs.drift import compare_paths  # noqa: E402
+from repro.obs.drift import NOISE_FLOOR, compare_paths, gate_verdict  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,8 +45,9 @@ def main(argv: list[str] | None = None) -> int:
              "in addition to positional paths",
     )
     parser.add_argument(
-        "--threshold", type=float, default=0.25,
-        help="relative drift flagged as regression (default 0.25)",
+        "--threshold", type=float, default=NOISE_FLOOR,
+        help="relative drift flagged as regression (default: the "
+             f"documented noise floor, {NOISE_FLOOR})",
     )
     parser.add_argument(
         "--window", type=int, default=8,
@@ -77,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         f"\n{len(paths) - 1} baseline snapshot(s), threshold "
         f"+{args.threshold:.0%}, {len(regressed)} flagged"
     )
+    print(gate_verdict(regressed, threshold=args.threshold))
     if regressed and args.gate:
         return 1
     return 0

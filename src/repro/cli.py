@@ -45,7 +45,7 @@ from repro.analysis.stats import rank_correlation, steady_state_mean
 from repro.analysis.tables import format_series, format_table
 from repro.core.config import SCHEME_NAMES, CoronaConfig
 from repro.obs import Observability, export_chrome_trace, setup_logging
-from repro.obs.drift import compare_paths
+from repro.obs.drift import NOISE_FLOOR, compare_paths, gate_verdict
 from repro.obs.trace import read_spans
 from repro.scenarios import (
     ScenarioRunner,
@@ -458,8 +458,9 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
             f"\n{len(regressed)} benchmark(s) above the "
             f"+{args.threshold:.0%} drift threshold"
         )
-        if args.gate:
-            return 1
+    print(gate_verdict(regressed, threshold=args.threshold))
+    if regressed and args.gate:
+        return 1
     return 0
 
 
@@ -640,8 +641,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing artifacts, oldest first; the last is the candidate",
     )
     bench_compare.add_argument(
-        "--threshold", type=float, default=0.25,
-        help="relative drift that flags a regression (default 0.25)",
+        "--threshold", type=float, default=NOISE_FLOOR,
+        help="relative drift that flags a regression (default: the "
+             f"documented noise floor, {NOISE_FLOOR})",
     )
     bench_compare.add_argument(
         "--window", type=int, default=8,

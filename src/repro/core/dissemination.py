@@ -50,24 +50,30 @@ def deliver_plan(
     """Execute a delivery plan under an (optional) fault model.
 
     ``transmit(sender, recipient)`` returns an outcome with a
-    ``deliveries`` count (0 = lost after retries, 2 = duplicated);
-    ``None`` means perfect delivery.  Hops whose sender never received
-    the message (its own inbound hop failed) are *not* attempted —
-    the flood is a physical relay, not a broadcast.
+    ``deliveries`` count (0 = lost after retries, 2 = duplicated) and
+    an optional per-hop ``delay``; ``None`` means perfect delivery.
+    Hops whose sender never received the message (its own inbound hop
+    failed) are *not* attempted — the flood is a physical relay, not
+    a broadcast.
 
-    Returns ``(deliveries, attempted, unreached)``: the
+    Returns ``(deliveries, attempted, unreached, delay_to)``: the
     ``(recipient, copies)`` pairs that arrived, in plan order; the
-    number of hops actually transmitted; and the recipients that
-    missed the message entirely.
+    number of hops actually transmitted; the recipients that missed
+    the message entirely; and each reached recipient's *cumulative*
+    path delay (link latency, queueing and backoff waits summed down
+    the relay chain — empty on the perfect path, where hops have no
+    timing model).
     """
     if transmit is None:
         return (
             [(child, 1) for _parent, child, _depth in plan],
             len(plan),
             set(),
+            {},
         )
     unreached: set[NodeId] = set()
     deliveries: list[tuple[NodeId, int]] = []
+    delay_to: dict[NodeId, float] = {}
     attempted = 0
     for parent, child, _depth in plan:
         if parent in unreached:
@@ -79,9 +85,13 @@ def deliver_plan(
         copies = outcome.deliveries  # type: ignore[attr-defined]
         if copies:
             deliveries.append((child, copies))
+            hop_delay = getattr(outcome, "delay", 0.0)
+            inherited = delay_to.get(parent, 0.0)
+            if hop_delay or inherited:
+                delay_to[child] = inherited + hop_delay
         else:
             unreached.add(child)
-    return deliveries, attempted, unreached
+    return deliveries, attempted, unreached, delay_to
 
 
 def dissemination_cost(

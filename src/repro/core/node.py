@@ -74,7 +74,13 @@ class FetchResult:
 
 @dataclass(frozen=True)
 class DetectionEvent:
-    """Metrics record: one fresh update accepted by a manager."""
+    """Metrics record: one fresh update accepted by a manager.
+
+    ``path_delay`` is the extra latency the per-link network model
+    charged the dissemination path from detector to manager (queueing,
+    backoff and link latency summed along the relay chain) — 0.0 with
+    no link table, so fault-free metrics are byte-identical.
+    """
 
     url: str
     version: int
@@ -82,6 +88,7 @@ class DetectionEvent:
     published_at: float | None
     subscribers: int
     diff_lines: int
+    path_delay: float = 0.0
 
 
 class CoronaNode:

@@ -44,6 +44,18 @@ class PollTask:
         """A poll reached the server; clear the failure streak."""
         self.consecutive_failures = 0
 
+    def record_shed(self) -> None:
+        """The poll was shed under queue backpressure.
+
+        The node keeps serving its cached (stale) snapshot and
+        stretches the duty to the next interval — τ cadence is kept,
+        so the staleness penalty is bounded at one extra interval per
+        shed and the channel recovers as soon as the link drains.
+        Not a failure: the server was never contacted, so the failure
+        streak (which feeds manager-health accounting) is untouched.
+        """
+        self.advance()
+
 
 @dataclass
 class PollScheduler:

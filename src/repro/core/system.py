@@ -717,6 +717,10 @@ class CoronaSystem:
         missed a diff converge within one maintenance interval.
         """
         tracer = self.obs.tracer
+        if self.faults is not None:
+            # Link-table clock: refill token buckets and drain bounded
+            # queues up to this round's sim time (no-op without one).
+            self.faults.observe_time(now)
         with tracer.span(
             "aggregation", sim_time=now, category="phase"
         ) as span:
@@ -815,7 +819,7 @@ class CoronaSystem:
             msg.level,
             self.config.base,
         )
-        deliveries, attempted, _unreached = deliver_plan(
+        deliveries, attempted, _unreached, _delay_to = deliver_plan(
             plan, self._transmit_hook()
         )
         for recipient, copies in deliveries:
@@ -990,7 +994,15 @@ class CoronaSystem:
         """
         fresh: list[DetectionEvent] = []
         plane = self.faults
+        if plane is not None:
+            plane.observe_time(now)
         faulty = plane is not None and plane.active
+        # Load shedding only engages when the per-link table is live
+        # *and* some link has queue state (``backpressure`` is pure
+        # queue inspection — no randomness, so fault-free byte
+        # identity holds trivially).
+        links = plane.links if plane is not None else None
+        shedding = links is not None and links.active
         polls_before = self.counters.polls
         # Repair bookkeeping runs whenever a plane is installed (even
         # while inactive): a drop in round k lags members behind diffs
@@ -1001,7 +1013,17 @@ class CoronaSystem:
             "poll_batch", sim_time=now, category="phase"
         ) as span:
             for node_id, node in self.nodes.items():
+                shed_node = shedding and links.should_shed_poll(node_id)
                 for task in node.scheduler.due(now):
+                    if shed_node:
+                        # Sustained outbound queue backpressure: do not
+                        # add poll (and consequent diff-flood) load to
+                        # a congested link.  The node serves its cached
+                        # snapshot — stale by at most the extra τ — and
+                        # re-examines the backlog next interval.
+                        plane.counters.polls_shed += 1
+                        task.record_shed()
+                        continue
                     if faulty and not plane.poll_attempt(node_id):
                         # Request/response lost (or the server side of
                         # a partition): the poll times out after its
@@ -1073,12 +1095,17 @@ class CoronaSystem:
                     level,
                     self.config.base,
                 )
-            deliveries, attempted, _unreached = deliver_plan(
+            deliveries, attempted, _unreached, delay_to = deliver_plan(
                 plan, self._transmit_hook()
             )
             self.counters.diff_messages += attempted
             plan_children = {child for _parent, child, _depth in plan}
             event: DetectionEvent | None = None
+            # Cumulative link delay on the path the diff took to the
+            # manager (0.0 without a link table — metrics unchanged).
+            path_delay = 0.0
+            if manager_id is not None:
+                path_delay = delay_to.get(manager_id, 0.0)
             for recipient, copies in deliveries:
                 if recipient == detector_id:
                     continue
@@ -1100,13 +1127,20 @@ class CoronaSystem:
                 copies = 1
                 hook = self._transmit_hook()
                 if hook is not None:
-                    copies = hook(detector_id, manager_id).deliveries
+                    outcome = hook(detector_id, manager_id)
+                    copies = outcome.deliveries
+                    path_delay = getattr(outcome, "delay", 0.0)
                 for _ in range(copies):
                     fresh = self.nodes[manager_id].handle_diff(msg, now)
                     if fresh is not None:
                         event = fresh
             if manager_id == detector_id:
                 event = self.nodes[manager_id].handle_diff(msg, now)
+                path_delay = 0.0
+            if event is not None and path_delay:
+                event = dataclasses.replace(
+                    event, path_delay=path_delay
+                )
             if manager_id is not None:
                 self.counters.redundant_diffs = self.nodes[
                     manager_id

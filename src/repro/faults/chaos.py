@@ -2,8 +2,10 @@
 
 :func:`chaos_timeline` expands a chaos seed into a deterministic
 scenario event timeline drawn from the recovery-capable fault
-families — loss bursts, partition+heal pairs, crash+recover waves and
-correlated manager failures (each followed by a matching recovery).
+families — loss bursts, partition+heal pairs, crash+recover waves,
+correlated manager failures (each followed by a matching recovery)
+and link degradations (congested, slow or asymmetrically lossy link
+sets that lift their own imposition at the window's end).
 The expansion is pure: the same ``(seed, horizon, n_nodes)`` always
 produces the same timeline, byte for byte, so a chaos run is exactly
 as diffable and CI-gateable as a hand-written scenario — ``repro
@@ -33,8 +35,11 @@ import random
 
 __all__ = ["chaos_timeline", "CHAOS_FAMILIES"]
 
-#: Incident families a chaos seed draws from.
-CHAOS_FAMILIES = ("loss", "partition", "crash", "managers")
+#: Incident families a chaos seed draws from.  ``link`` incidents
+#: degrade a seeded fraction of the population's links (congestion,
+#: slow links or asymmetric loss via the per-link table) and heal at
+#: the window's end, like every other family.
+CHAOS_FAMILIES = ("loss", "partition", "crash", "managers", "link")
 
 #: Event times snap to this grid (seconds) — coarse enough to read,
 #: fine enough that timelines differ meaningfully across seeds.
@@ -93,6 +98,26 @@ def chaos_timeline(
                     "jitter": 0.0,
                 }
             )
+        elif family == "link":
+            # Link degradation: one of three flavors, bounded duration
+            # (the event lifts its own imposition — always healing).
+            flavor = rng.choice(("congested", "slow", "lossy"))
+            incident = {
+                "kind": "link-degradation",
+                "at": at,
+                "duration": _quantize(rng.uniform(300.0, 900.0)),
+                "fraction": round(rng.uniform(0.15, 0.35), 3),
+                "direction": rng.choice(("outbound", "inbound", "both")),
+            }
+            if flavor == "congested":
+                incident["bandwidth"] = round(rng.uniform(0.01, 0.05), 3)
+                incident["queue_limit"] = rng.randint(4, 10)
+            elif flavor == "slow":
+                incident["latency"] = round(rng.uniform(0.5, 2.0), 3)
+                incident["jitter"] = round(rng.uniform(0.0, 0.5), 3)
+            else:
+                incident["loss"] = round(rng.uniform(0.1, 0.4), 3)
+            events.append(incident)
         elif family == "partition":
             partition_index += 1
             heal_at = min(

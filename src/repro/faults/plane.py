@@ -94,6 +94,26 @@ class FaultCounters(CounterStruct):
             "repair_urls_skipped",
             "channels the dirty-set repair scan proved clean and skipped",
         ),
+        (
+            "queued_messages",
+            "queued_messages",
+            "messages delayed in a bandwidth-capped link's queue",
+        ),
+        (
+            "queue_drops",
+            "queue_drops",
+            "messages dropped by bounded link-queue overflow (not loss)",
+        ),
+        (
+            "retries_suppressed",
+            "retries_suppressed",
+            "retransmissions shed because backoff outgrew the window",
+        ),
+        (
+            "polls_shed",
+            "polls_shed",
+            "polls skipped under queue backpressure (stale serve)",
+        ),
     )
 
 
@@ -123,11 +143,15 @@ class TransmitOutcome:
 
     ``deliveries`` is how many copies arrived (0 = lost after the
     whole retry budget, 2 = delivered plus a duplicate); ``attempts``
-    is the number of transmissions spent (1 + retransmissions).
+    is the number of transmissions spent (1 + retransmissions);
+    ``delay`` is the extra end-to-end latency the link added (queueing
+    wait + backoff waits + sampled link latency — 0.0 on the uniform
+    path, which has no per-link timing model).
     """
 
     deliveries: int
     attempts: int
+    delay: float = 0.0
 
     @property
     def delivered(self) -> bool:
@@ -194,6 +218,10 @@ class FaultPlane:
         self.rng = random.Random(f"fault-plane-{self.seed}")
         self.jitter = JitterModel(width=self.reorder_jitter, rng=self.rng)
         self.partitions: dict[str, PartitionIsland] = {}
+        # Optional per-link refinement (repro.faults.links.LinkTable),
+        # duck-typed to keep the import acyclic.  None or an inactive
+        # table leaves every path below byte-identical.
+        self.links = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -209,7 +237,21 @@ class FaultPlane:
             or self.duplicate_rate > 0.0
             or self.reorder_jitter > 0.0
             or self.partitions
+            or (self.links is not None and self.links.active)
         )
+
+    def install_links(self, table) -> None:
+        """Attach a per-link table refining the uniform model."""
+        self.links = table
+
+    def observe_time(self, now: float) -> None:
+        """Advance the link table's clock (token refill, queue drain).
+
+        A no-op without a table; with an inactive table it is a float
+        compare — no randomness, no state, byte-identity preserved.
+        """
+        if self.links is not None:
+            self.links.advance(now)
 
     # ------------------------------------------------------------------
     # timeline mutators
@@ -301,9 +343,23 @@ class FaultPlane:
         ``retry_budget`` times; a partitioned link fails every attempt
         without touching the generator.  Inactive planes return the
         shared clean outcome and draw nothing.
+
+        With an active link table installed, the per-link model takes
+        over for this hop: link-specific loss overrides, token-bucket
+        bandwidth shaping and adaptive backed-off retransmits — links
+        without an override fall back to the uniform path below.
         """
         if not self.active:
             return CLEAN_DELIVERY
+        if self.links is not None and self.links.active:
+            return self.links.transmit(sender, recipient, self)
+        return self.transmit_uniform(sender, recipient)
+
+    def transmit_uniform(
+        self, sender: Hashable, recipient: Hashable
+    ) -> TransmitOutcome:
+        """The uniform (pre-link-table) model: global rates, immediate
+        re-rolls.  Also the fallback for links with no override."""
         counters = self.counters
         if self.partitioned(sender, recipient):
             attempts = self.retry_budget + 1
@@ -378,6 +434,10 @@ class FaultPlane:
         must use this clamped view, like :meth:`transmit` itself does.
         """
         return _effective_rate(self.loss_rate)
+
+    def effective_duplicate_rate(self) -> float:
+        """The per-delivery duplication probability actually sampled."""
+        return _effective_rate(self.duplicate_rate)
 
     def isolated_fraction(self) -> float:
         """Share of the population currently cut off (macro view)."""

@@ -20,6 +20,7 @@ from repro.scenarios.spec import (
     ChurnWave,
     CorrelatedManagerFailure,
     FlashCrowd,
+    LinkDegradation,
     MessageLoss,
     NetworkDegradation,
     NodeCrash,
@@ -403,6 +404,111 @@ CRASH_RECOVER = register(
     )
 )
 
+CONGESTED_RELAY = register(
+    ScenarioSpec(
+        name="congested-relay",
+        description=(
+            "Bandwidth brown-out: a quarter of the cloud's outbound "
+            "links drop to a trickle (token bucket, bounded queue) "
+            "for 15 minutes — adaptive RTOs back retransmits off, "
+            "queue overflow drops separately from loss, congested "
+            "nodes shed poll load (stale serves, not errors), and "
+            "everyone reconverges within a maintenance interval of "
+            "the window's end."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        events=(
+            LinkDegradation(
+                at=1200.0,
+                duration=900.0,
+                fraction=0.25,
+                bandwidth=0.02,
+                burst=2.0,
+                queue_limit=6,
+                direction="outbound",
+            ),
+        ),
+    )
+)
+
+SLOW_SUBTREE = register(
+    ScenarioSpec(
+        name="slow-subtree",
+        description=(
+            "Latency asymmetry: every link *into* a quarter of the "
+            "cloud gains 1.5s (+U(0,0.5) jitter) for 20 minutes — "
+            "the slow subtree's detections age by path delay while "
+            "the rest of the wedge stays fast, and the EWMA RTO "
+            "keeps retransmits patient instead of spurious."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        events=(
+            LinkDegradation(
+                at=900.0,
+                duration=1200.0,
+                fraction=0.25,
+                latency=1.5,
+                jitter=0.5,
+                direction="inbound",
+            ),
+        ),
+    )
+)
+
+ASYMMETRIC_LOSS = register(
+    ScenarioSpec(
+        name="asymmetric-loss",
+        description=(
+            "Directional weather: outbound links of a quarter of the "
+            "cloud drop 30% of messages for 25 minutes while the "
+            "reverse direction stays clean — per-link overrides "
+            "replace the global rate on exactly those links, and "
+            "backed-off retransmits plus anti-entropy repair carry "
+            "the affected wedges."
+        ),
+        n_nodes=32,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        events=(
+            LinkDegradation(
+                at=600.0,
+                duration=1500.0,
+                fraction=0.25,
+                loss=0.3,
+                direction="outbound",
+            ),
+        ),
+    )
+)
+
+MULTI_DC = register(
+    ScenarioSpec(
+        name="multi-dc",
+        description=(
+            "Declarative topology: the cloud spans three datacenters "
+            "(5ms intra, 120ms inter with 30% jitter and 2% cross-DC "
+            "loss) for the whole run — the latency-matrix shape of "
+            "the link table, exercising path-delay accumulation "
+            "through multi-hop wedge floods."
+        ),
+        n_nodes=33,
+        horizon=3600.0,
+        workload=WorkloadSpec(n_channels=40, n_subscriptions=800),
+        links={
+            "topology": "multi-dc",
+            "dcs": 3,
+            "intra_latency": 0.005,
+            "inter_latency": 0.12,
+            "jitter_fraction": 0.3,
+            "inter_loss": 0.02,
+        },
+    )
+)
+
 CHAOS_SOAK = register(
     ScenarioSpec(
         name="chaos-soak",
@@ -444,5 +550,9 @@ BUILTIN_NAMES = (
     "rate-limited-servers",
     "subscription-flap",
     "crash-recover",
+    "congested-relay",
+    "slow-subtree",
+    "asymmetric-loss",
+    "multi-dc",
     "chaos-soak",
 )

@@ -15,7 +15,12 @@ protocol is supposed to preserve under faults and recovery:
 * **manager coverage** — the manager map and the nodes' ``managed``
   channel records form a bijection over live nodes;
 * **no lost subscription** — at the end of the run every subscription
-  the workload issued is registered on some manager.
+  the workload issued is registered on some manager;
+* **queue conservation** — every message a bandwidth-capped link
+  queued is eventually delivered (drained), dropped-with-count
+  (overflow) or still sitting in a bounded backlog, and the link
+  table's per-state accounting matches the registry counters —
+  nothing vanishes.
 
 Every check is **read-only**: the monitor draws no randomness and
 mutates no protocol state, so a monitors-on run is byte-identical to
@@ -89,6 +94,7 @@ class InvariantMonitor:
         self._check_routing(now)
         self._check_manager_coverage(now)
         self._check_staleness(now)
+        self._check_queue_conservation(now)
 
     def check_final(
         self, now: float, registered: int, total_subscriptions: int
@@ -212,3 +218,36 @@ class InvariantMonitor:
                         f"digest of {url} outside the repair dirty set",
                     )
                     return
+
+    def _check_queue_conservation(self, now: float) -> None:
+        """Nothing offered to a capped link may vanish.
+
+        Two layers, both strictly read-only (queues drain in the
+        table's own ``advance``, never here): per-link accounting
+        (``enqueued == drained + backlog``, backlog within bounds —
+        :meth:`~repro.faults.links.LinkTable.conservation_errors`)
+        and the cross-check that the registry counters the scenario
+        gates on agree with the per-state sums.
+        """
+        plane = self.system.faults
+        links = getattr(plane, "links", None) if plane is not None else None
+        if links is None:
+            return
+        for error in links.conservation_errors():
+            self._record("queue-conservation", now, error)
+        totals = links.queue_totals()
+        counters = plane.counters
+        if counters.queued_messages != totals["enqueued"]:
+            self._record(
+                "queue-conservation",
+                now,
+                f"registry queued_messages {counters.queued_messages} "
+                f"!= link-state enqueued {totals['enqueued']}",
+            )
+        if counters.queue_drops != totals["overflowed"]:
+            self._record(
+                "queue-conservation",
+                now,
+                f"registry queue_drops {counters.queue_drops} != "
+                f"link-state overflowed {totals['overflowed']}",
+            )

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.system import CoronaSystem
 from repro.faults import FaultPlane
+from repro.faults.links import LinkTable, assign_topology, build_link_table
 from repro.faults.plane import FaultCounters
 from repro.obs import Observability
 from repro.scenarios.invariants import InvariantMonitor
@@ -40,6 +41,7 @@ from repro.scenarios.spec import (
     ChurnWave,
     CorrelatedManagerFailure,
     FlashCrowd,
+    LinkDegradation,
     MessageLoss,
     NetworkDegradation,
     NodeCrash,
@@ -83,6 +85,10 @@ REGISTRY_COUNTER_KEYS: tuple[tuple[str, str], ...] = (
     ("failed_polls", "failed_polls"),
     ("poll_retries", "poll_retries"),
     ("manager_failovers", "manager_failovers"),
+    ("queued_messages", "queued_messages"),
+    ("queue_drops", "queue_drops"),
+    ("retries_suppressed", "retries_suppressed"),
+    ("polls_shed", "polls_shed"),
 )
 
 
@@ -204,6 +210,10 @@ class ScenarioMetrics:
         "failed_polls",
         "poll_retries",
         "manager_failovers",
+        "queued_messages",
+        "queue_drops",
+        "retries_suppressed",
+        "polls_shed",
         "rate_limited_polls",
         "flap_subscribes",
         "flap_unsubscribes",
@@ -272,6 +282,10 @@ class ScenarioMetrics:
             f"{self.failed_polls} failed polls, "
             f"{self.rate_limited_polls} rate-limited, "
             f"{self.manager_failovers} manager failovers",
+            f"  links      : {self.queued_messages} queued, "
+            f"{self.queue_drops} queue drops, "
+            f"{self.retries_suppressed} retries suppressed, "
+            f"{self.polls_shed} polls shed",
         ]
         return "\n".join(lines)
 
@@ -366,6 +380,16 @@ def _execute(
     faults = FaultPlane(
         seed=seed + 5, counters=FaultCounters(obs.registry)
     )
+    # One link table per run, always installed, like the plane itself:
+    # inactive (no specs) it draws nothing and is bit-identical to no
+    # table.  A declarative ``links`` topology pre-loads its group
+    # matrix; link-degradation events impose/lift scoped specs on it.
+    link_table = (
+        build_link_table(spec.links, seed=seed + 7)
+        if spec.links
+        else LinkTable(seed=seed + 7)
+    )
+    faults.install_links(link_table)
     system = CoronaSystem(
         n_nodes=spec.n_nodes,
         config=config,
@@ -376,6 +400,14 @@ def _execute(
         faults=faults,
         obs=obs,
     )
+    if spec.links:
+        # Round-robin the initial population over the datacenters
+        # (deterministic: system.nodes preserves creation order).
+        # Nodes joining later sit outside every group — their links
+        # stay clean, which is the conservative default.
+        assign_topology(
+            link_table, list(system.nodes), spec.links.get("dcs", 2)
+        )
 
     def scheduled(name: str, fn):
         """Mark a timeline callback with a trace instant when it fires.
@@ -529,18 +561,26 @@ def _execute(
                 min(event.at + event.duration, spec.horizon), end_burst
             )
         elif isinstance(event, NetworkDegradation):
-            # Degradations compose multiplicatively and undo by the
-            # inverse, so overlapping events do not cancel each other
-            # (restore() would zero out a still-active degradation).
-            engine.schedule(
-                event.at,
-                lambda now, ev=event: latency.degrade(ev.latency_factor),
-            )
+            # Token-scoped: each window restores exactly its own
+            # factor, so overlapping events compose and the scale
+            # lands back on the *true* baseline (no f × 1/f residue).
+            degradation_token: dict = {}
+
+            def start_degradation(
+                now: float, ev=event, cell=degradation_token
+            ) -> None:
+                cell["token"] = latency.degrade(ev.latency_factor)
+
+            def end_degradation(
+                now: float, cell=degradation_token
+            ) -> None:
+                if "token" in cell:
+                    latency.restore(cell.pop("token"))
+
+            engine.schedule(event.at, start_degradation)
             engine.schedule(
                 min(event.at + event.duration, spec.horizon),
-                lambda now, ev=event: latency.degrade(
-                    1.0 / ev.latency_factor
-                ),
+                end_degradation,
             )
         elif isinstance(event, ChurnWave):
 
@@ -632,6 +672,50 @@ def _execute(
                     ev.count, now=now, rng=fault_rng, target="managers"
                 ),
             )
+        elif isinstance(event, LinkDegradation):
+            # Victims drawn from the fault generator (like partition
+            # membership); the imposition handle makes the window
+            # always-healing — the end event lifts exactly this
+            # degradation, leaving overlapping ones intact.
+            imposition: dict = {}
+
+            def start_link_degradation(
+                now: float, ev=event, cell=imposition
+            ) -> None:
+                population = list(system.nodes)
+                count = min(
+                    len(population),
+                    max(1, round(ev.fraction * len(population))),
+                )
+                victims = fault_rng.sample(population, count)
+                senders = (
+                    victims
+                    if ev.direction in ("outbound", "both")
+                    else ()
+                )
+                recipients = (
+                    victims
+                    if ev.direction in ("inbound", "both")
+                    else ()
+                )
+                cell["handle"] = link_table.impose(
+                    ev.link_spec(),
+                    senders=senders,
+                    recipients=recipients,
+                )
+
+            def end_link_degradation(
+                now: float, cell=imposition
+            ) -> None:
+                handle = cell.pop("handle", None)
+                if handle is not None:
+                    link_table.lift(handle)
+
+            engine.schedule(event.at, start_link_degradation)
+            engine.schedule(
+                min(event.at + event.duration, spec.horizon),
+                end_link_degradation,
+            )
         elif isinstance(event, SubscriptionFlap):
             flap_urls = trace.urls[: event.channels]
             flap_state = {"on": False}
@@ -706,6 +790,10 @@ def _execute(
             if event.published_at is None:
                 continue
             delay = max(0.0, event.detected_at - event.published_at)
+            # Per-link path delay the network model charged the diff
+            # on its way to the manager (0.0 — and byte-identical —
+            # without an active link table).
+            delay += event.path_delay
             delay += latency.sample()
             # Reorder jitter inflates end-to-end freshness (0.0 — and
             # no randomness — while the fault plane is jitter-free).

@@ -391,6 +391,86 @@ class CorrelatedManagerFailure:
 
 
 @dataclass(frozen=True)
+class LinkDegradation:
+    """A seeded set of nodes gets hostile *links* for a while.
+
+    From ``at`` until ``at + duration`` a ``fraction`` of the current
+    population has every link in ``direction`` (``"outbound"``,
+    ``"inbound"`` or ``"both"``) degraded per the
+    :class:`~repro.faults.links.LinkSpec` knobs: a ``loss`` override
+    replacing the global rate on those links, extra ``latency`` with
+    U(0, ``jitter``), and/or a ``bandwidth`` cap (messages/second,
+    token bucket of ``burst``) with a bounded queue of ``queue_limit``
+    whose overflow drops count separately from loss.  Unlike
+    :class:`MessageLoss` this is *asymmetric* — the reverse links stay
+    clean unless ``direction="both"``.  The event always heals: the
+    runner lifts exactly this imposition at the window's end.
+    """
+
+    kind: ClassVar[str] = "link-degradation"
+
+    at: float
+    duration: float = 600.0
+    fraction: float = 0.25
+    loss: float | None = None
+    latency: float = 0.0
+    jitter: float = 0.0
+    bandwidth: float | None = None
+    burst: float = 2.0
+    queue_limit: int = 8
+    direction: str = "outbound"
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ScenarioSpecError(
+                "link-degradation duration must be positive"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ScenarioSpecError(
+                "link-degradation fraction must be in (0, 1]"
+            )
+        if self.direction not in ("outbound", "inbound", "both"):
+            raise ScenarioSpecError(
+                "link-degradation direction must be 'outbound', "
+                "'inbound' or 'both'"
+            )
+        from repro.faults.links import LinkSpec
+
+        try:
+            spec = LinkSpec(
+                loss=self.loss,
+                latency=self.latency,
+                jitter=self.jitter,
+                bandwidth=self.bandwidth,
+                burst=self.burst,
+                queue_limit=self.queue_limit,
+            )
+            spec.validate()
+        except ValueError as error:
+            raise ScenarioSpecError(
+                f"link-degradation: {error}"
+            ) from error
+        if not spec.hostile:
+            raise ScenarioSpecError(
+                "link-degradation must set at least one of loss, "
+                "latency, jitter or bandwidth"
+            )
+
+    def link_spec(self):
+        """The :class:`~repro.faults.links.LinkSpec` to impose."""
+        from repro.faults.links import LinkSpec
+
+        return LinkSpec(
+            loss=self.loss,
+            latency=self.latency,
+            jitter=self.jitter,
+            bandwidth=self.bandwidth,
+            burst=self.burst,
+            queue_limit=self.queue_limit,
+        )
+
+
+@dataclass(frozen=True)
 class SubscriptionFlap:
     """Subscribe/unsubscribe waves over a channel pool.
 
@@ -432,7 +512,7 @@ class SubscriptionFlap:
 ScenarioEvent = Union[
     NodeJoin, NodeCrash, NodeRecovery, FlashCrowd, UpdateBurst,
     NetworkDegradation, ChurnWave, MessageLoss, Partition, PartitionHeal,
-    CorrelatedManagerFailure, SubscriptionFlap,
+    CorrelatedManagerFailure, SubscriptionFlap, LinkDegradation,
 ]
 
 #: kind-string → event class, for the plain-dict loader.
@@ -441,7 +521,7 @@ EVENT_KINDS: dict[str, type] = {
     for cls in (
         NodeJoin, NodeCrash, NodeRecovery, FlashCrowd, UpdateBurst,
         NetworkDegradation, ChurnWave, MessageLoss, Partition, PartitionHeal,
-        CorrelatedManagerFailure, SubscriptionFlap,
+        CorrelatedManagerFailure, SubscriptionFlap, LinkDegradation,
     )
 }
 
@@ -486,6 +566,12 @@ class ScenarioSpec:
     memo_solve: bool = True
     config: Mapping[str, Any] = field(default_factory=dict)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    #: Declarative static link topology (``{}`` = no per-link model).
+    #: Currently one shape: ``{"topology": "multi-dc", "dcs": N, ...}``
+    #: — nodes split round-robin over N datacenters, cross-DC links
+    #: get the latency matrix / loss / bandwidth knobs (see
+    #: :func:`repro.faults.links.build_link_table`).
+    links: Mapping[str, Any] = field(default_factory=dict)
     events: tuple[ScenarioEvent, ...] = ()
     variants: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
 
@@ -527,6 +613,13 @@ class ScenarioSpec:
             )
         self.workload.validate()
         self.corona_config()
+        if self.links:
+            from repro.faults.links import validate_links_config
+
+            try:
+                validate_links_config(self.links)
+            except ValueError as error:
+                raise ScenarioSpecError(f"links: {error}") from error
         for event in self.events:
             if not isinstance(event, tuple(EVENT_KINDS.values())):
                 raise ScenarioSpecError(
@@ -777,6 +870,7 @@ class ScenarioSpec:
             "memo_solve": self.memo_solve,
             "config": dict(self.config),
             "workload": dataclasses.asdict(self.workload),
+            "links": dict(self.links),
             "events": events,
             "variants": {
                 label: dict(overrides)

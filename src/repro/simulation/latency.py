@@ -43,16 +43,47 @@ class LatencyModel:
         import math
 
         self._mu = math.log(self.median - self.floor)
+        # The true (construction-time) scale degradations stack onto;
+        # restore() recovers it *exactly*, with no f × 1/f float
+        # residue, however many windows overlapped.
+        self._baseline = self.scale
+        self._degradations: dict[int, float] = {}
+        self._next_token = 0
 
-    def degrade(self, factor: float) -> None:
-        """Multiply all subsequent delays by ``factor`` (composable)."""
+    def degrade(self, factor: float) -> int:
+        """Multiply all subsequent delays by ``factor`` (composable).
+
+        Returns a token identifying *this* degradation window, so
+        overlapping windows compose: each :meth:`restore` removes one
+        window's factor and recomputes the product over the survivors
+        from the true baseline — the old single-global-factor scheme
+        let overlapping windows restore to a stacked wrong baseline.
+        """
         if factor <= 0:
             raise ValueError("degradation factor must be positive")
+        token = self._next_token
+        self._next_token += 1
+        self._degradations[token] = factor
         self.scale *= factor
+        return token
 
-    def restore(self) -> None:
-        """Reset the degradation multiplier to 1."""
-        self.scale = 1.0
+    def restore(self, token: int | None = None) -> None:
+        """End a degradation window (all of them when ``token`` is None).
+
+        Idempotent against the true baseline: with no surviving
+        windows the scale is *exactly* the construction-time value
+        (not a ``f * (1/f)`` float approximation of it), and with
+        survivors it is the baseline times exactly their factors.
+        An unknown or already-restored token is a no-op.
+        """
+        if token is None:
+            self._degradations.clear()
+        elif self._degradations.pop(token, None) is None:
+            return
+        scale = self._baseline
+        for factor in self._degradations.values():
+            scale *= factor
+        self.scale = scale
 
     def sample(self) -> float:
         """One message delay in seconds."""

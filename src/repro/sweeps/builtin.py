@@ -20,6 +20,8 @@ BASELINE_SUITE_SCENARIOS = (
     "heavy-churn",
     "lossy-overlay",
     "partition-heal",
+    "congested-relay",
+    "asymmetric-loss",
 )
 
 CHURN_SCALE = register(
@@ -75,8 +77,8 @@ CHAOS_SOAK = register(
     SweepSpec(
         name="chaos-soak",
         description=(
-            "Seeded chaos timelines (crashes, partitions, loss) with "
-            "recovery, one seed per worker — run with "
+            "Seeded chaos timelines (crashes, partitions, loss, link "
+            "degradation) with recovery, one seed per worker — run with "
             "--check-invariants for the CI soak job's violation "
             "report."
         ),

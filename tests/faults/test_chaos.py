@@ -83,8 +83,33 @@ class TestStructure:
             }
             assert opened == healed
 
-    def test_families_are_the_documented_four(self):
-        assert CHAOS_FAMILIES == ("loss", "partition", "crash", "managers")
+    def test_families_are_the_documented_five(self):
+        assert CHAOS_FAMILIES == (
+            "loss", "partition", "crash", "managers", "link"
+        )
+
+    def test_link_incidents_are_bounded_and_healing(self):
+        """Every drawn link incident carries sane knobs and a finite
+        duration (the event's end-of-window lift is its heal)."""
+        seen_flavors = set()
+        for seed in range(12):
+            for event in chaos_timeline(seed, 7200.0, 48, incidents=8):
+                if event["kind"] != "link-degradation":
+                    continue
+                assert 0.0 < event["fraction"] <= 0.5
+                assert 300.0 <= event["duration"] <= 900.0
+                assert event["direction"] in ("outbound", "inbound", "both")
+                if "bandwidth" in event:
+                    seen_flavors.add("congested")
+                    assert event["bandwidth"] > 0
+                    assert event["queue_limit"] >= 1
+                elif "latency" in event:
+                    seen_flavors.add("slow")
+                    assert event["latency"] > 0
+                else:
+                    seen_flavors.add("lossy")
+                    assert 0.0 < event["loss"] < 1.0
+        assert seen_flavors == {"congested", "slow", "lossy"}
 
     def test_rejects_degenerate_inputs(self):
         with pytest.raises(ValueError, match="horizon"):

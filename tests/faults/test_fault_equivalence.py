@@ -17,7 +17,7 @@ import random
 import pytest
 
 from repro.core.system import CoronaSystem
-from repro.faults import FaultPlane
+from repro.faults import FaultPlane, LinkSpec, LinkTable
 from repro.scenarios import ChurnWave, FlashCrowd, MessageLoss
 from repro.scenarios.runner import ScenarioRunner
 from repro.simulation.webserver import WebServerFarm
@@ -101,12 +101,44 @@ def harmless_plane(seed):
     return plane
 
 
+def empty_table_plane(seed):
+    """A clean plane with an empty LinkTable installed: the link-layer
+    leg of the contract — installing no table and installing a table
+    with nothing configured must be indistinguishable."""
+    plane = FaultPlane.none(seed=seed)
+    plane.install_links(LinkTable(seed=seed + 7))
+    return plane
+
+
+def default_spec_table_plane(seed):
+    """An *active* table whose every spec is all-default (non-hostile):
+    spec resolution runs on each hop, but every link falls back to the
+    uniform path — still byte-identical to no table at all."""
+    plane = FaultPlane.none(seed=seed)
+    table = LinkTable(seed=seed + 7)
+    table.set_link("nobody", "nowhere", LinkSpec())
+    plane.install_links(table)
+    return plane
+
+
 class TestSystemFaultOffEquivalence:
     @pytest.mark.parametrize("seed", [61, 62, 63])
     @pytest.mark.parametrize(
         "make_plane",
-        [lambda seed: None, FaultPlane.none, harmless_plane],
-        ids=["absent", "none", "zero-rate"],
+        [
+            lambda seed: None,
+            FaultPlane.none,
+            harmless_plane,
+            empty_table_plane,
+            default_spec_table_plane,
+        ],
+        ids=[
+            "absent",
+            "none",
+            "zero-rate",
+            "empty-link-table",
+            "default-spec-table",
+        ],
     )
     def test_bit_identical_to_plane_absent(
         self, seed, make_plane, fast_config
@@ -132,6 +164,10 @@ FAULT_KEYS = (
     "failed_polls",
     "poll_retries",
     "manager_failovers",
+    "queued_messages",
+    "queue_drops",
+    "retries_suppressed",
+    "polls_shed",
     "rate_limited_polls",
     "flap_subscribes",
     "flap_unsubscribes",

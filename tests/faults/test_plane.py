@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults import FaultPlane
+from repro.faults import FaultPlane, LinkSpec, LinkTable
 
 
 class TestInactivePlane:
@@ -181,6 +181,61 @@ class TestPartitions:
         plane.heal("p2")
         assert plane.isolated_fraction() == pytest.approx(0.25)
         assert plane.server_isolated_fraction() == 0.0
+
+
+class TestTransmitEdgeCases:
+    def test_partition_preempts_duplication(self):
+        """A partitioned link is deterministically dead: no loss roll,
+        no duplicate roll, no randomness — even with both rates hot."""
+        plane = FaultPlane(
+            seed=8, loss_rate=0.5, duplicate_rate=1.0, retry_budget=2
+        )
+        plane.partition("cut", members=["a"])
+        state = plane.rng.getstate()
+        outcome = plane.transmit("a", "b")
+        assert outcome.deliveries == 0
+        assert plane.rng.getstate() == state
+        assert plane.counters.messages_duplicated == 0
+        # The same endpoints inside the island still duplicate.
+        assert plane.transmit("a", "a").deliveries == 2
+
+    def test_exhausted_budget_accounting(self):
+        """Full-budget failure: every attempt is charged as a drop,
+        every re-send as a retransmission, and attempts == budget+1."""
+        plane = FaultPlane(seed=8, loss_rate=1.0, retry_budget=3)
+        outcome = plane.transmit("a", "b")
+        assert outcome.deliveries == 0
+        assert outcome.attempts == 4
+        assert plane.counters.messages_dropped == 4
+        assert plane.counters.retransmissions == 3
+        # Across many partial recoveries the ledgers stay conserved:
+        # drops == failed attempts, retransmissions == attempts - 1.
+        lossy = FaultPlane(seed=8, loss_rate=0.5, retry_budget=3)
+        outcomes = [lossy.transmit("a", "b") for _ in range(500)]
+        attempts = sum(o.attempts for o in outcomes)
+        delivered = sum(1 for o in outcomes if o.delivered)
+        assert lossy.counters.messages_dropped == attempts - delivered
+        assert lossy.counters.retransmissions == attempts - len(outcomes)
+
+    def test_link_override_dispatch_and_fallback(self):
+        """The transmit dispatcher: an active table owns spec'd links,
+        unspec'd links fall back to the global uniform model, and an
+        inactive table never reaches the table path at all."""
+        plane = FaultPlane(seed=12, loss_rate=1.0, retry_budget=0)
+        table = LinkTable(seed=12)
+        plane.install_links(table)
+        # Inactive table: uniform path (global loss kills everything).
+        assert not plane.transmit("a", "b").delivered
+        table.set_link("a", "b", LinkSpec(loss=0.0, latency=0.5))
+        # Spec'd link: override shields it from the global rate.
+        shielded = plane.transmit("a", "b")
+        assert shielded.delivered
+        assert shielded.delay == pytest.approx(0.5)
+        # Unspec'd link through an *active* table: global rate applies,
+        # and the uniform path reports no per-link delay.
+        fallback = plane.transmit("c", "d")
+        assert not fallback.delivered
+        assert fallback.delay == 0.0
 
 
 class TestPolls:

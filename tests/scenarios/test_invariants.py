@@ -126,3 +126,78 @@ class TestMonitorsFire:
         report = monitor.report()
         assert report["violation_counts"]["manager-coverage"] == 40
         assert len(report["violations"]) == 32  # _MAX_PER_INVARIANT
+
+
+class TestQueueConservation:
+    """The link-layer invariant: queued traffic never vanishes."""
+
+    @pytest.fixture()
+    def congested(self, fast_config, small_farm):
+        from repro.core.system import CoronaSystem
+        from repro.faults import FaultPlane, LinkSpec, LinkTable
+
+        plane = FaultPlane(seed=4)
+        table = LinkTable(seed=4)
+        table.set_link(
+            "a", "b", LinkSpec(bandwidth=0.5, burst=1.0, queue_limit=2)
+        )
+        plane.install_links(table)
+        system = CoronaSystem(
+            n_nodes=12, config=fast_config, fetcher=small_farm,
+            seed=4, faults=plane,
+        )
+        monitor = InvariantMonitor(
+            tiny_spec(n_nodes=12), system, Observability.off().registry
+        )
+        # Saturate the capped link: 1 sent, 2 queued, 2 overflowed.
+        for _ in range(5):
+            plane.transmit("a", "b")
+        return plane, table, monitor
+
+    def test_clean_accounting_records_nothing(self, congested):
+        _plane, _table, monitor = congested
+        monitor.check_round(60.0)
+        assert monitor.violations == []
+
+    def test_faultless_system_skips_the_check(
+        self, fast_config, small_farm
+    ):
+        from repro.core.system import CoronaSystem
+
+        system = CoronaSystem(
+            n_nodes=12, config=fast_config, fetcher=small_farm, seed=4
+        )
+        monitor = InvariantMonitor(
+            tiny_spec(n_nodes=12), system, Observability.off().registry
+        )
+        monitor.check_round(60.0)
+        assert monitor.violations == []
+
+    def test_vanished_backlog_is_detected(self, congested):
+        _plane, table, monitor = congested
+        table._states[("a", "b")].backlog -= 1  # a message evaporates
+        monitor.check_round(60.0)
+        kinds = [v["invariant"] for v in monitor.violations]
+        assert "queue-conservation" in kinds
+
+    def test_counter_mismatch_is_detected(self, congested):
+        plane, _table, monitor = congested
+        plane.counters.queued_messages += 1  # registry disagrees
+        monitor.check_round(60.0)
+        details = [
+            v["detail"]
+            for v in monitor.violations
+            if v["invariant"] == "queue-conservation"
+        ]
+        assert any("queued_messages" in detail for detail in details)
+
+    def test_overflow_undercount_is_detected(self, congested):
+        plane, _table, monitor = congested
+        plane.counters.queue_drops -= 1
+        monitor.check_round(60.0)
+        details = [
+            v["detail"]
+            for v in monitor.violations
+            if v["invariant"] == "queue-conservation"
+        ]
+        assert any("queue_drops" in detail for detail in details)

@@ -88,3 +88,32 @@ class TestLatencyModel:
         assert model.scale == pytest.approx(4.0)
         model.restore()
         assert model.scale == 1.0
+
+    def test_token_scoped_restore_composes_overlapping_windows(self):
+        """Each degrade() returns a token; restore(token) removes
+        exactly that contribution and recomputes from the *true*
+        baseline, so overlapping windows end in any order with no
+        f * (1/f) float residue left behind."""
+        model = LatencyModel(seed=8, scale=2.0)  # non-unit baseline
+        first = model.degrade(3.0)
+        second = model.degrade(7.0)
+        assert model.scale == pytest.approx(42.0)
+        model.restore(first)  # windows close out of open order
+        assert model.scale == pytest.approx(14.0)
+        model.restore(second)
+        assert model.scale == 2.0  # exact baseline, not approx
+
+    def test_restore_is_idempotent_per_token(self):
+        model = LatencyModel(seed=8)
+        token = model.degrade(10.0)
+        model.restore(token)
+        model.restore(token)  # double-close: no-op
+        model.restore(999)  # unknown token: no-op
+        assert model.scale == 1.0
+
+    def test_bare_restore_clears_every_window(self):
+        model = LatencyModel(seed=8, scale=0.5)
+        model.degrade(10.0)
+        model.degrade(4.0)
+        model.restore()
+        assert model.scale == 0.5

@@ -34,6 +34,12 @@ GRIDS: dict[str, tuple[SweepTask, ...]] = {
     "seed-grid": tuple(
         SweepTask("flash-crowd", None, seed) for seed in (0, 1, 2)
     ),
+    # The link-layer built-ins: token buckets, adaptive backoff and
+    # poll shedding must all reproduce byte-for-byte across workers.
+    "link-faults": (
+        SweepTask("congested-relay", None, 0),
+        SweepTask("multi-dc", None, 0),
+    ),
 }
 
 _SERIAL_CACHE: dict[str, dict[str, str]] = {}
