@@ -80,6 +80,11 @@ class DetectionEvent:
     charged the dissemination path from detector to manager (queueing,
     backoff and link latency summed along the relay chain) — 0.0 with
     no link table, so fault-free metrics are byte-identical.
+
+    ``detector``/``fanout`` identify the poller whose diff reached the
+    manager and the wedge dissemination plan's size — provenance
+    annotations for :mod:`repro.obs.provenance`, never consulted by
+    the protocol itself.
     """
 
     url: str
@@ -89,6 +94,8 @@ class DetectionEvent:
     subscribers: int
     diff_lines: int
     path_delay: float = 0.0
+    detector: "NodeId | None" = None
+    fanout: int = 0
 
 
 class CoronaNode:

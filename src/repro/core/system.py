@@ -1137,9 +1137,15 @@ class CoronaSystem:
             if manager_id == detector_id:
                 event = self.nodes[manager_id].handle_diff(msg, now)
                 path_delay = 0.0
-            if event is not None and path_delay:
+            if event is not None:
+                # path_delay participates in the detection-delay metric
+                # (0.0 without a link table, byte-identical either
+                # way); detector/fanout are provenance-only.
                 event = dataclasses.replace(
-                    event, path_delay=path_delay
+                    event,
+                    path_delay=path_delay,
+                    detector=detector_id,
+                    fanout=len(plan),
                 )
             if manager_id is not None:
                 self.counters.redundant_diffs = self.nodes[

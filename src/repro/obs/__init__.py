@@ -27,6 +27,8 @@ from typing import IO
 
 from repro.obs.log import get_logger, setup as setup_logging, should_log
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.provenance import ProvenanceTracker
+from repro.obs.timeline import TimelineSampler
 from repro.obs.trace import (
     NULL_SPAN,
     Tracer,
@@ -39,6 +41,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProvenanceTracker",
+    "TimelineSampler",
     "Tracer",
     "NULL_SPAN",
     "Observability",
@@ -62,6 +66,12 @@ class Observability:
 
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Tracer = field(default_factory=Tracer)
+    #: Optional run-introspection legs (PR 10): a per-round registry
+    #: sampler and a per-update lifecycle tracker.  Both are read-only
+    #: observers of the run — attached or not, every gated metric is
+    #: byte-identical (``tests/obs/test_obs_equivalence.py``).
+    timeline: TimelineSampler | None = None
+    provenance: ProvenanceTracker | None = None
 
     @classmethod
     def off(cls) -> "Observability":
@@ -80,3 +90,25 @@ class Observability:
             sink=sink, registry=registry, enabled=True
         )
         return cls(registry=registry, tracer=tracer)
+
+    @classmethod
+    def introspected(
+        cls,
+        seed: int = 0,
+        sink: IO[str] | None = None,
+        trace: bool = False,
+    ) -> "Observability":
+        """The full run-introspection plane for `repro report`.
+
+        Timeline sampling + update provenance always on; span tracing
+        optional (wall timings are the one nondeterministic leg, so
+        reports segregate them — see :mod:`repro.obs.report`).
+        """
+        registry = MetricsRegistry()
+        tracer = Tracer(sink=sink, registry=registry, enabled=trace)
+        return cls(
+            registry=registry,
+            tracer=tracer,
+            timeline=TimelineSampler(registry),
+            provenance=ProvenanceTracker(seed=seed),
+        )

@@ -159,9 +159,24 @@ class Histogram(_Metric):
     ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the
     implicit final bucket is ``+inf``.  ``sum``/``count``/``min``/
     ``max`` summarize the stream without storing it.
+
+    ``sample_cap`` > 0 additionally retains up to that many raw
+    observations (the first ``sample_cap`` seen), which lets
+    :meth:`quantile` answer exactly while the stream fits under the
+    cap and fall back to bucket interpolation once it overflows.  The
+    default of 0 keeps the hot path allocation-free.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "sum", "count", "min", "max")
+    __slots__ = (
+        "buckets",
+        "bucket_counts",
+        "sum",
+        "count",
+        "min",
+        "max",
+        "sample_cap",
+        "samples",
+    )
 
     kind = "histogram"
 
@@ -171,6 +186,7 @@ class Histogram(_Metric):
         description: str = "",
         labelnames: Iterable[str] = (),
         buckets: Iterable[float] = DEFAULT_BUCKETS,
+        sample_cap: int = 0,
     ) -> None:
         super().__init__(name, description, labelnames)
         bounds = tuple(sorted(float(bound) for bound in buckets))
@@ -182,6 +198,8 @@ class Histogram(_Metric):
         self.count = 0
         self.min = math.inf
         self.max = -math.inf
+        self.sample_cap = int(sample_cap)
+        self.samples: list[float] = []
 
     def labels(self, **labels: str) -> "Histogram":
         if set(labels) != set(self.labelnames):
@@ -193,7 +211,10 @@ class Histogram(_Metric):
         child = self._children.get(key)
         if child is None:
             child = Histogram(
-                self.name, self.description, buckets=self.buckets
+                self.name,
+                self.description,
+                buckets=self.buckets,
+                sample_cap=self.sample_cap,
             )
             self._children[key] = child
         return child  # type: ignore[return-value]
@@ -213,6 +234,43 @@ class Histogram(_Metric):
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self.samples) < self.sample_cap:
+            self.samples.append(value)
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile of the observed stream (``0 <= q <= 1``).
+
+        Exact (nearest-rank on the retained samples) while the stream
+        fits under ``sample_cap``; bucket-interpolated against the
+        cumulative counts once it overflows — still clamped to the
+        true observed ``[min, max]``.  ``None`` with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"{self.name}: quantile {q!r} not in [0, 1]")
+        if self.count == 0:
+            return None
+        if self.samples and len(self.samples) == self.count:
+            ordered = sorted(self.samples)
+            rank = max(0, math.ceil(q * len(ordered)) - 1)
+            return ordered[rank]
+        # Interpolate within the bucket holding the target rank.  The
+        # lower edge of the first occupied bucket is the observed min
+        # and every edge is clamped by the observed max, so estimates
+        # never leave the true range.
+        target = q * self.count
+        cumulative = 0
+        lower = self.min
+        for position, bound in enumerate(self.buckets):
+            in_bucket = self.bucket_counts[position]
+            if in_bucket:
+                if cumulative + in_bucket >= target:
+                    fraction = (target - cumulative) / in_bucket
+                    upper = min(bound, self.max)
+                    value = lower + (upper - lower) * fraction
+                    return min(max(value, self.min), self.max)
+                lower = min(bound, self.max)
+            cumulative += in_bucket
+        return self.max
 
     def collect(self) -> dict:
         return {
@@ -318,9 +376,16 @@ class MetricsRegistry:
         description: str = "",
         labelnames: Iterable[str] = (),
         buckets: Iterable[float] = DEFAULT_BUCKETS,
+        sample_cap: int = 0,
     ) -> Histogram:
         return self._register(
-            Histogram(name, description, labelnames, buckets=buckets)
+            Histogram(
+                name,
+                description,
+                labelnames,
+                buckets=buckets,
+                sample_cap=sample_cap,
+            )
         )
 
     def register(self, metric: _Metric) -> _Metric:

@@ -350,6 +350,11 @@ def _execute(
     if obs is None:
         obs = Observability.off()
     tracer = obs.tracer
+    # Optional introspection legs (repro report): both are read-only
+    # observers — attached or not, gated metrics are byte-identical
+    # (tests/obs/test_obs_equivalence.py).
+    sampler = obs.timeline
+    provenance = obs.provenance
     config = spec.corona_config()
     workload = spec.workload
     trace = generate_trace(
@@ -770,6 +775,10 @@ def _execute(
             # draws no randomness and mutates nothing, so metrics are
             # byte-identical with monitoring on or off.
             monitor.check_round(now)
+        if sampler is not None:
+            # Snapshot the registry scalars into the run timeline —
+            # reads only, after the round (and its checks) settled.
+            sampler.sample(now)
 
     engine.schedule_every(
         maintenance * 0.5,
@@ -789,17 +798,41 @@ def _execute(
         for event in events:
             if event.published_at is None:
                 continue
-            delay = max(0.0, event.detected_at - event.published_at)
+            # The components are accumulated in the exact historical
+            # order (same float-add sequence, same RNG draw order), so
+            # the delay stream — and every baseline byte — is
+            # unchanged by the provenance capture below.
+            staleness = max(0.0, event.detected_at - event.published_at)
+            delay = staleness
             # Per-link path delay the network model charged the diff
             # on its way to the manager (0.0 — and byte-identical —
             # without an active link table).
             delay += event.path_delay
-            delay += latency.sample()
+            notify_delay = latency.sample()
+            delay += notify_delay
             # Reorder jitter inflates end-to-end freshness (0.0 — and
             # no randomness — while the fault plane is jitter-free).
-            delay += faults.detection_jitter()
+            jitter = faults.detection_jitter()
+            delay += jitter
             detect_series.add(now, delay)
             detections += 1
+            if provenance is not None:
+                provenance.record(
+                    url=event.url,
+                    version=event.version,
+                    published_at=event.published_at,
+                    detected_at=event.detected_at,
+                    staleness=staleness,
+                    path_delay=event.path_delay,
+                    delivery=notify_delay + jitter,
+                    subscribers=event.subscribers,
+                    detector=(
+                        f"{event.detector.value:040x}"[:10]
+                        if event.detector is not None
+                        else None
+                    ),
+                    fanout=event.fanout,
+                )
 
     engine.schedule_every(
         spec.poll_tick, spec.poll_tick, poll_round, until=spec.horizon

@@ -121,6 +121,9 @@ class TaskResult:
     #: ``check_invariants``).  Carried outside ``payload`` so variant
     #: JSON bytes stay identical with monitoring on or off.
     violations: list | None = None
+    #: Per-task report document (``None`` unless the task ran with
+    #: ``collect_report``).  Outside ``payload`` for the same reason.
+    report: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -233,6 +236,28 @@ class SweepRun:
             "total_violations": total,
             "tasks": tasks,
         }
+
+    def run_report(self) -> dict:
+        """Merge per-task report documents (``collect_report`` runs).
+
+        Enumeration order, JSON-safe; failed or unreported tasks keep
+        their slot with ``report: null`` so the document shape is
+        stable whatever succeeded.
+        """
+        from repro.obs.report import build_sweep_report
+
+        tasks = [
+            {
+                "key": result.task.key,
+                "scenario": result.task.scenario,
+                "variant": result.task.label,
+                "seed": result.task.seed,
+                "status": result.status,
+                "report": result.report,
+            }
+            for result in self.results
+        ]
+        return build_sweep_report(self.name, tasks)
 
     # ------------------------------------------------------------------
     def write_artifacts(self, out_dir: str | os.PathLike) -> list[Path]:
@@ -444,6 +469,7 @@ def run_sweep(
     retries: int = 1,
     obs: Observability | None = None,
     check_invariants: bool = False,
+    collect_report: bool = False,
     completed: dict[str, TaskResult] | None = None,
     on_result=None,
     max_respawns: int = 5,
@@ -453,6 +479,11 @@ def run_sweep(
     ``check_invariants`` attaches the runner's read-only invariant
     monitors to every task (variant bytes are unchanged; violations
     surface on :attr:`TaskResult.violations`).
+
+    ``collect_report`` attaches the introspection plane to every task
+    (likewise read-only — variant bytes unchanged); per-task report
+    documents surface on :attr:`TaskResult.report` and merge through
+    :meth:`SweepRun.run_report`.
 
     ``completed`` (key → prior :class:`TaskResult`, typically from a
     resume journal) skips every journaled task — ok *and* failed, so
@@ -464,7 +495,13 @@ def run_sweep(
     if timeout is None:
         timeout = spec.timeout
     grid = [
-        replace(task, check_invariants=True) if check_invariants else task
+        replace(
+            task,
+            check_invariants=check_invariants or task.check_invariants,
+            collect_report=collect_report or task.collect_report,
+        )
+        if (check_invariants or collect_report)
+        else task
         for task in spec.tasks()
     ]
     completed = completed or {}
@@ -515,6 +552,7 @@ def _run_serial(tasks, retries, record, on_result) -> list[TaskResult]:
                 alloc_blocks=outcome.alloc_blocks,
                 payload=outcome.payload,
                 violations=outcome.violations,
+                report=outcome.report,
             )
             record(result, started)
             break
@@ -575,6 +613,7 @@ def _run_parallel(
                 alloc_blocks=outcome.alloc_blocks,
                 payload=outcome.payload,
                 violations=outcome.violations,
+                report=outcome.report,
             )
             record(results[index], worker.dispatched_at)
             if on_result is not None:

@@ -71,6 +71,7 @@ def _result_record(result: TaskResult) -> dict:
         "error": result.error,
         "payload": result.payload,
         "violations": result.violations,
+        "report": result.report,
     }
 
 
@@ -89,6 +90,9 @@ def _result_from_record(record: dict) -> TaskResult:
         error=record["error"],
         payload=record["payload"],
         violations=record.get("violations"),
+        # .get(): journals written before per-task reports existed
+        # load cleanly (the field simply resumes as absent).
+        report=record.get("report"),
     )
 
 

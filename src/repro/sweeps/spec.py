@@ -49,6 +49,11 @@ class SweepTask:
     #: does not participate in ``key``: the cell's identity — and its
     #: artifacts — are the same with or without monitoring.
     check_invariants: bool = False
+    #: Run with the introspection plane attached (timeline sampler +
+    #: provenance tracker) and ship a per-task report document back.
+    #: Read-only like the monitors — identical payload bytes, so this
+    #: is likewise excluded from ``key``.
+    collect_report: bool = False
 
     @property
     def label(self) -> str:

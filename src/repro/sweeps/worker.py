@@ -52,6 +52,10 @@ class TaskOutcome:
     #: ``check_invariants``; ``[]`` for a clean monitored run).  Kept
     #: out of ``payload`` so variant JSON stays baseline-identical.
     violations: list | None = None
+    #: Per-task report document (``None`` unless the task ran with
+    #: ``collect_report``).  Carried outside ``payload`` for the same
+    #: reason as ``violations``: variant JSON bytes never change.
+    report: dict | None = None
 
 
 def run_task(task: SweepTask) -> TaskOutcome:
@@ -61,9 +65,18 @@ def run_task(task: SweepTask) -> TaskOutcome:
     from repro.scenarios.registry import get_scenario
     from repro.scenarios.runner import ScenarioRunner
 
+    obs = None
+    if task.collect_report:
+        # The introspection legs are read-only observers: payload
+        # bytes are identical with or without them (tests/obs), so a
+        # reporting sweep merges byte-identical variant artifacts.
+        from repro.obs import Observability
+
+        obs = Observability.introspected(seed=task.seed)
     runner = ScenarioRunner(
         get_scenario(task.scenario),
         seed=task.seed,
+        obs=obs,
         check_invariants=task.check_invariants,
     )
     alloc_start = sys.getallocatedblocks()
@@ -71,6 +84,16 @@ def run_task(task: SweepTask) -> TaskOutcome:
     metrics = runner.run(task.variant)
     wall = time.perf_counter() - wall_start
     alloc = sys.getallocatedblocks() - alloc_start
+    report = None
+    if task.collect_report:
+        from repro.obs.report import build_scenario_report
+
+        report = build_scenario_report(
+            metrics.to_dict(),
+            timeline=obs.timeline,
+            provenance=obs.provenance,
+            violations=metrics.violations,
+        )
     return TaskOutcome(
         payload=metrics.to_dict(),
         wall_seconds=wall,
@@ -78,6 +101,7 @@ def run_task(task: SweepTask) -> TaskOutcome:
         violations=(
             list(metrics.violations) if task.check_invariants else None
         ),
+        report=report,
     )
 
 

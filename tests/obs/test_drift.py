@@ -142,3 +142,68 @@ class TestComparePaths:
         new = self._write(tmp_path, "new.json", a=9.0)
         _report, regressed = compare_paths([old, new], threshold=None)
         assert regressed == []
+
+
+class TestGateScript:
+    """scripts/perf_drift.py gates by default (ROADMAP 5a, PR 10).
+
+    The CI drift step calls the script with no flags, so these tests
+    drive its ``main`` directly: synthetic >25% drift must exit 1,
+    ``--no-gate`` must restore report-only, and a repo with no timing
+    history (fewer than two snapshots) must stay green.
+    """
+
+    @pytest.fixture(scope="class")
+    def perf_drift(self):
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parent.parent.parent
+            / "scripts" / "perf_drift.py"
+        )
+        spec = importlib.util.spec_from_file_location("perf_drift", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _write(self, tmp_path, name, **means):
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                [{"fullname": k, "mean": v} for k, v in means.items()]
+            )
+        )
+        return str(path)
+
+    def test_synthetic_drift_fails_the_gate(
+        self, perf_drift, tmp_path, capsys
+    ):
+        old = self._write(tmp_path, "old.json", a=1.0)
+        new = self._write(tmp_path, "new.json", a=2.0)  # +100% > +25%
+        assert perf_drift.main([old, new]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        # the failure message routes to the baseline-refresh procedure
+        assert "Perf drift gate" in captured.err
+        assert "BENCH_timings_ci.json" in captured.err
+
+    def test_no_gate_reports_only(self, perf_drift, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", a=1.0)
+        new = self._write(tmp_path, "new.json", a=2.0)
+        assert perf_drift.main([old, new, "--no-gate"]) == 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_drift_under_floor_passes(self, perf_drift, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", a=1.0)
+        new = self._write(tmp_path, "new.json", a=1.2)  # +20% < +25%
+        assert perf_drift.main([old, new]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_missing_history_is_not_an_error(
+        self, perf_drift, tmp_path, capsys
+    ):
+        lone = self._write(tmp_path, "only.json", a=1.0)
+        assert perf_drift.main([lone]) == 0
+        assert perf_drift.main([]) == 0
+        assert "need at least two" in capsys.readouterr().err

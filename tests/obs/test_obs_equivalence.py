@@ -54,6 +54,57 @@ def test_baseline_scenarios_byte_identical_with_tracing_on(name):
     assert obs.tracer.records
 
 
+@pytest.mark.parametrize(
+    "name",
+    [
+        "steady-state",
+        "heavy-churn",
+        "lossy-overlay",
+        "partition-heal",
+        "congested-relay",
+        "asymmetric-loss",
+    ],
+)
+def test_baseline_scenarios_byte_identical_with_introspection_on(name):
+    """PR 10 latch leg: timeline + provenance observe, never perturb.
+
+    ``Observability.introspected`` attaches the per-round timeline
+    sampler *and* the per-update provenance tracker; every committed
+    baseline (written with observability off) must survive the full
+    introspection stack byte-for-byte.
+    """
+    baseline = json.loads((BASELINE_DIR / f"{name}.json").read_text())
+    obs = Observability.introspected(seed=BASELINE_SEED)
+    runner = ScenarioRunner(get_scenario(name), seed=BASELINE_SEED, obs=obs)
+    actual = {
+        label: _gated(metrics.to_dict())
+        for label, metrics in runner.run_all().items()
+    }
+    assert actual == baseline
+    # …and the introspection layer genuinely saw the run it left alone.
+    assert obs.timeline is not None and obs.timeline.rounds > 0
+    assert obs.provenance is not None and obs.provenance.detections > 0
+
+
+def test_introspected_rerun_is_byte_stable():
+    """Same seed twice ⇒ identical timeline and provenance bytes."""
+
+    def introspect():
+        obs = Observability.introspected(seed=BASELINE_SEED)
+        ScenarioRunner(
+            get_scenario("steady-state"), seed=BASELINE_SEED, obs=obs
+        ).run()
+        return json.dumps(
+            {
+                "timeline": obs.timeline.to_dict(),
+                "provenance": obs.provenance.to_dict(),
+            },
+            sort_keys=True,
+        )
+
+    assert introspect() == introspect()
+
+
 def test_work_baseline_byte_identical_with_tracing_on():
     baseline = json.loads(
         (BASELINE_DIR / "churn-scale-sweep.work.json").read_text()

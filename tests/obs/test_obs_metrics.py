@@ -207,3 +207,94 @@ class TestMetricsRegistry:
             isinstance(v, float) and math.isinf(v)
             for v in (snap["sum"],)
         )
+
+
+class TestHistogramQuantile:
+    """quantile(): exact under the sample cap, interpolated past it."""
+
+    def test_empty_returns_none(self):
+        h = Histogram("lat", buckets=(1.0, 10.0), sample_cap=8)
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.0) is None
+        assert h.quantile(1.0) is None
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("lat", buckets=(1.0,))
+        for bad in (-0.1, 1.1, 2.0):
+            with pytest.raises(ValueError, match="quantile"):
+                h.quantile(bad)
+
+    def test_single_sample_is_every_quantile(self):
+        h = Histogram("lat", buckets=(1.0, 10.0), sample_cap=8)
+        h.observe(3.5)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 3.5
+
+    def test_all_equal_samples(self):
+        h = Histogram("lat", buckets=(1.0, 10.0), sample_cap=16)
+        for _ in range(10):
+            h.observe(7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 7.0
+
+    def test_exact_under_cap_nearest_rank(self):
+        h = Histogram("lat", buckets=(100.0,), sample_cap=100)
+        for value in range(1, 101):  # 1..100
+            h.observe(float(value))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.0) == 1.0
+
+    def test_exact_path_unaffected_by_observation_order(self):
+        a = Histogram("lat", buckets=(100.0,), sample_cap=10)
+        b = Histogram("lat", buckets=(100.0,), sample_cap=10)
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for value in values:
+            a.observe(value)
+        for value in reversed(values):
+            b.observe(value)
+        assert a.quantile(0.5) == b.quantile(0.5) == 5.0
+
+    def test_cap_overflow_falls_back_to_interpolation(self):
+        h = Histogram("lat", buckets=(10.0, 20.0, 40.0), sample_cap=4)
+        for value in (2.0, 4.0, 12.0, 18.0, 30.0, 38.0):
+            h.observe(value)
+        assert len(h.samples) == 4 < h.count
+        # Interpolated answers stay inside the observed envelope and
+        # are monotone in q — the contract reports rely on.
+        quantiles = [h.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(2.0 <= value <= 38.0 for value in quantiles)
+        assert quantiles == sorted(quantiles)
+        assert h.quantile(1.0) == 38.0
+
+    def test_interpolation_lands_inside_the_right_bucket(self):
+        h = Histogram("lat", buckets=(10.0, 20.0), sample_cap=0)
+        for _ in range(50):
+            h.observe(5.0)   # first bucket
+        for _ in range(50):
+            h.observe(15.0)  # second bucket
+        # p25 must come from (min, 10]; p75 from (10, 20].
+        assert h.quantile(0.25) <= 10.0
+        assert 10.0 <= h.quantile(0.75) <= 20.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("lat", buckets=(1.0,), sample_cap=0)
+        h.observe(500.0)
+        h.observe(900.0)
+        assert h.quantile(0.99) == 900.0
+
+    def test_zero_cap_never_retains_samples(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        assert h.samples == []
+
+    def test_labeled_children_inherit_sample_cap(self):
+        h = Histogram("lat", labelnames=("phase",), buckets=(1.0,),
+                      sample_cap=3)
+        child = h.labels(phase="poll")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            child.observe(value)
+        assert child.sample_cap == 3
+        assert len(child.samples) == 3

@@ -161,3 +161,98 @@ class TestMetricsKeyOrderThroughMerge:
         )
         assert list(direct) == keys
         assert variant_json(direct) == variant_json(result.payload)
+
+
+class TestReportCommand:
+    """`repro report`: deterministic run reports (PR 10 tentpole)."""
+
+    def test_json_byte_identical_across_invocations(self, capsys):
+        def render():
+            assert main(["report", "steady-state", "--format", "json"]) == 0
+            return capsys.readouterr().out
+
+        first, second = render(), render()
+        assert first == second
+        report = json.loads(first)
+        assert report["scenario"] == "steady-state"
+        # the acceptance surface: freshness percentiles + per-round
+        # retransmission series are in the document
+        percentiles = report["freshness"]["percentiles"]["freshness"]
+        assert percentiles["p50"] is not None
+        assert percentiles["p95"] is not None
+        assert percentiles["p99"] is not None
+        series = report["timeline"]["series"]
+        assert "retransmissions" in series
+        assert len(series["retransmissions"]["deltas"]) == len(
+            report["timeline"]["times"]
+        )
+
+    def test_terminal_render_names_the_sections(self, capsys):
+        assert main(["report", "steady-state"]) == 0
+        out = capsys.readouterr().out
+        assert "Run report — steady-state" in out
+        assert "Freshness" in out
+        assert "Timeline" in out
+        assert "Counters" in out
+        # deterministic by default: no wall-clock section
+        assert "Phase timings" not in out
+
+    def test_timings_flag_adds_wall_clock_section(self, capsys):
+        assert main(["report", "steady-state", "--timings"]) == 0
+        assert "Phase timings" in capsys.readouterr().out
+
+    def test_out_writes_file_and_infers_format(self, tmp_path, capsys):
+        target = tmp_path / "reports" / "steady.md"
+        assert main(["report", "steady-state", "--out", str(target)]) == 0
+        assert "wrote report to" in capsys.readouterr().out
+        rendered = target.read_text()
+        assert rendered.startswith("# Run report — steady-state")
+        assert "| component | p50 |" in rendered
+
+    def test_json_out_parses(self, tmp_path, capsys):
+        target = tmp_path / "steady.json"
+        assert main(["report", "steady-state", "--out", str(target)]) == 0
+        report = json.loads(target.read_text())
+        assert report["seed"] == 0
+
+    def test_unknown_name_is_an_error(self, capsys):
+        assert main(["report", "no-such-run"]) == 2
+        assert "neither a registered scenario" in capsys.readouterr().err
+
+    def test_sweep_name_renders_sweep_report(self, capsys):
+        assert main(["report", "seed-grid", "--format", "json",
+                     "-j", "1"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sweep"] == "seed-grid"
+        assert document["counts"]["reported"] == document["counts"]["total"]
+        for task in document["tasks"]:
+            assert task["report"]["freshness"]["detections"] >= 0
+
+
+class TestBenchCompareGate:
+    """`repro bench compare` exits non-zero on drift by default."""
+
+    def _snapshot(self, tmp_path, name, mean):
+        path = tmp_path / name
+        path.write_text(json.dumps([{"fullname": "bench_a", "mean": mean}]))
+        return str(path)
+
+    def test_drift_gates_by_default(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path, "old.json", 1.0)
+        new = self._snapshot(tmp_path, "new.json", 2.0)
+        assert main(["bench", "compare", old, new]) == 1
+        captured = capsys.readouterr()
+        assert "drift gate failed" in captured.err
+        assert "Perf drift gate" in captured.err
+
+    def test_no_gate_restores_report_only(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path, "old.json", 1.0)
+        new = self._snapshot(tmp_path, "new.json", 2.0)
+        assert main(["bench", "compare", old, new, "--no-gate"]) == 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_clean_run_passes(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path, "old.json", 1.0)
+        new = self._snapshot(tmp_path, "new.json", 1.05)
+        assert main(["bench", "compare", old, new]) == 0
+        assert "PASS" in capsys.readouterr().out
